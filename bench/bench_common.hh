@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches.
+ *
+ * Every bench accepts:
+ *   --quick        reduced inputs (CI-scale, same qualitative shape)
+ *   --full         paper-scale inputs
+ *   --csv          also emit tables as CSV
+ *   --sizes=...    override the SCC size axis
+ *   --procs=...    override the processors-per-cluster axis
+ */
+
+#ifndef SCMP_BENCH_COMMON_HH
+#define SCMP_BENCH_COMMON_HH
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/design_space.hh"
+#include "multiprog/scheduler.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "workloads/spec/spec_app.hh"
+#include "workloads/splash/barnes.hh"
+#include "workloads/splash/cholesky.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace scmp::bench
+{
+
+/** Run scale selected on the command line. */
+enum class Scale
+{
+    Quick,
+    Default,
+    Full,
+};
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    Scale scale = Scale::Default;
+    bool csv = false;
+    std::vector<std::uint64_t> sccSizes;
+    std::vector<int> clusterSizes;
+    Config config;
+};
+
+inline std::vector<std::uint64_t>
+parseSizeList(const std::string &text)
+{
+    std::vector<std::uint64_t> sizes;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        bool ok = false;
+        std::uint64_t size = Config::parseSize(token, &ok);
+        fatal_if(!ok, "bad size '", token, "'");
+        sizes.push_back(size);
+    }
+    return sizes;
+}
+
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    options.config.parseArgs(argc, argv);
+    if (options.config.getBool("quick", false))
+        options.scale = Scale::Quick;
+    else if (options.config.getBool("full", false))
+        options.scale = Scale::Full;
+    options.csv = options.config.getBool("csv", false);
+
+    if (options.config.has("sizes")) {
+        options.sccSizes =
+            parseSizeList(options.config.getString("sizes"));
+    } else if (options.scale == Scale::Quick) {
+        options.sccSizes = {4ull << 10, 32ull << 10, 256ull << 10};
+    } else {
+        options.sccSizes = DesignSpace::paperSccSizes();
+    }
+
+    if (options.config.has("procs")) {
+        options.clusterSizes.clear();
+        std::stringstream stream(options.config.getString("procs"));
+        std::string token;
+        while (std::getline(stream, token, ','))
+            options.clusterSizes.push_back(std::stoi(token));
+    } else if (options.scale == Scale::Quick) {
+        options.clusterSizes = {1, 2, 8};
+    } else {
+        options.clusterSizes = DesignSpace::paperClusterSizes();
+    }
+    return options;
+}
+
+/** Emit a table (and optionally CSV) to stdout. */
+inline void
+emit(const Table &table, const BenchOptions &options)
+{
+    table.print(std::cout);
+    if (options.csv) {
+        std::cout << "\n-- csv: " << table.title() << "\n";
+        table.printCsv(std::cout);
+    }
+}
+
+/// @name Workload factories scaled by the bench options.
+/// @{
+inline DesignSpace::WorkloadFactory
+barnesFactory(const BenchOptions &options)
+{
+    splash::BarnesParams params;
+    switch (options.scale) {
+      case Scale::Quick:
+        params.nbodies = 256;
+        params.steps = 2;
+        break;
+      case Scale::Default:
+        params.nbodies = 1024;
+        params.steps = 3;
+        break;
+      case Scale::Full:
+        params.nbodies = 1024;  // the paper's input
+        params.steps = 6;
+        break;
+    }
+    return [params] {
+        return std::make_unique<splash::Barnes>(params);
+    };
+}
+
+inline DesignSpace::WorkloadFactory
+mp3dFactory(const BenchOptions &options)
+{
+    splash::Mp3dParams params;
+    switch (options.scale) {
+      case Scale::Quick:
+        params.nparticles = 2000;
+        params.steps = 3;
+        break;
+      case Scale::Default:
+        params.nparticles = 10000;  // the paper's input
+        params.steps = 5;
+        break;
+      case Scale::Full:
+        params.nparticles = 10000;
+        params.steps = 5;
+        break;
+    }
+    return [params] {
+        return std::make_unique<splash::Mp3d>(params);
+    };
+}
+
+inline DesignSpace::WorkloadFactory
+choleskyFactory(const BenchOptions &options)
+{
+    splash::CholeskyParams params;
+    switch (options.scale) {
+      case Scale::Quick:
+        params.gridRows = 20;
+        params.gridCols = 20;
+        break;
+      case Scale::Default:
+      case Scale::Full:
+        params.gridRows = 42;  // BCSSTK14-class, n = 1806
+        params.gridCols = 43;
+        break;
+    }
+    return [params] {
+        return std::make_unique<splash::Cholesky>(params);
+    };
+}
+/// @}
+
+/** Reference budget for multiprogramming runs at each scale. */
+inline std::uint64_t
+multiprogRefs(const BenchOptions &options)
+{
+    switch (options.scale) {
+      case Scale::Quick: return 1'000'000;
+      case Scale::Default: return 4'000'000;
+      case Scale::Full: return 100'000'000;  // the paper's scale
+    }
+    return 4'000'000;
+}
+
+/** Run the multiprogramming workload at one design point. */
+inline MultiprogResult
+multiprogPoint(int procs, std::uint64_t sccBytes,
+               const BenchOptions &options)
+{
+    MachineConfig machine;
+    machine.cpusPerCluster = procs;
+    machine.scc.sizeBytes = sccBytes;
+    machine.icache.enabled = true;
+
+    MultiprogParams params;
+    params.totalRefs = multiprogRefs(options);
+    return runMultiprog(machine, spec::makeSpecWorkload(), params);
+}
+
+} // namespace scmp::bench
+
+#endif // SCMP_BENCH_COMMON_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator primitives:
+ * fiber context switches, arena allocation, tag-array lookups,
+ * SCC hit/miss paths, bus transactions, the RNG and the pipeline
+ * model. These bound the simulator's refs/second throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/pipeline.hh"
+#include "exec/arena.hh"
+#include "exec/engine.hh"
+#include "exec/fiber.hh"
+#include "mem/bus.hh"
+#include "mem/scc.hh"
+#include "mem/tag_array.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    std::uint64_t count = 0;
+    Fiber fiber([&count] {
+        for (;;) {
+            ++count;
+            Fiber::yieldToCaller();
+        }
+    });
+    for (auto _ : state)
+        fiber.resume();
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_ArenaAlloc(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Arena arena(1 << 20);
+        state.ResumeTiming();
+        for (int i = 0; i < 1000; ++i)
+            benchmark::DoNotOptimize(arena.allocBytes(64));
+    }
+}
+BENCHMARK(BM_ArenaAlloc);
+
+void
+BM_TagLookupHit(benchmark::State &state)
+{
+    TagArray tags(64 << 10, 16, 1);
+    for (Addr addr = 0; addr < (64 << 10); addr += 16)
+        tags.fill(tags.victim(addr), addr, CoherenceState::Shared);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup(addr));
+        addr = (addr + 16) & ((64 << 10) - 1);
+    }
+}
+BENCHMARK(BM_TagLookupHit);
+
+void
+BM_SccHit(benchmark::State &state)
+{
+    stats::Group root("bench");
+    SnoopyBus bus(&root, BusParams{});
+    SharedClusterCache scc(&root, 0, 2, SccParams{}, &bus);
+    bus.attach(&scc);
+    // Warm one line, then hit it forever.
+    scc.access(0, RefType::Read, 0x1000, 0);
+    Cycle now = 200;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scc.access(0, RefType::Read, 0x1000, now));
+        now += 2;
+    }
+}
+BENCHMARK(BM_SccHit);
+
+void
+BM_SccMissStream(benchmark::State &state)
+{
+    stats::Group root("bench");
+    SnoopyBus bus(&root, BusParams{});
+    SharedClusterCache scc(&root, 0, 2, SccParams{}, &bus);
+    bus.attach(&scc);
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scc.access(0, RefType::Read, addr, now));
+        addr += 16;  // every access a fresh line
+        now += 2;
+    }
+}
+BENCHMARK(BM_SccMissStream);
+
+void
+BM_BusTransaction(benchmark::State &state)
+{
+    stats::Group root("bench");
+    SnoopyBus bus(&root, BusParams{});
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bus.transaction(0, BusOp::Read, now * 16, now));
+        now += 4;
+    }
+}
+BENCHMARK(BM_BusTransaction);
+
+void
+BM_EngineRefStream(benchmark::State &state)
+{
+    /** Null memory: every access completes instantly. */
+    class NullMemory : public MemorySystem
+    {
+      public:
+        Cycle
+        access(CpuId, RefType, Addr, Cycle now,
+               std::uint32_t) override
+        {
+            return now;
+        }
+    };
+
+    for (auto _ : state) {
+        NullMemory memory;
+        Arena arena(1 << 16);
+        Engine engine(&memory, &arena, EngineOptions{});
+        auto *data = arena.alloc<Shared<std::uint64_t>>(64);
+        for (CpuId cpu = 0; cpu < 4; ++cpu) {
+            engine.spawn(cpu, [data](ThreadCtx &ctx) {
+                for (int i = 0; i < 4096; ++i)
+                    data[i % 64].ld(ctx);
+            });
+        }
+        engine.run();
+        benchmark::DoNotOptimize(engine.totalRefs());
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            4 * 4096);
+}
+BENCHMARK(BM_EngineRefStream);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_PipelineModel(benchmark::State &state)
+{
+    InstrMix mix = InstrMix::barnes();
+    Pipeline pipeline(PipelineParams{});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pipeline.run(mix, 100000, 7).cycles);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            100000);
+}
+BENCHMARK(BM_PipelineModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compute-server scenario: one cluster time-shared by the eight
+ * SPEC92-class applications under the paper's round-robin
+ * scheduler, showing how SCC size and processor count trade off
+ * in throughput mode.
+ *
+ * Usage:
+ *   compute_server [--procs=N] [--scc=SIZE] [--refs=N]
+ *                  [--quantum=N] [--icache=0|1]
+ */
+
+#include <cstdio>
+
+#include "multiprog/scheduler.hh"
+#include "sim/config.hh"
+
+int
+main(int argc, char **argv)
+{
+    scmp::Config config;
+    config.parseArgs(argc, argv);
+
+    scmp::MachineConfig machine;
+    machine.cpusPerCluster = (int)config.getInt("procs", 4);
+    machine.scc.sizeBytes = config.getSize("scc", 64 << 10);
+    machine.icache.enabled = config.getBool("icache", true);
+    machine.arenaBytes = 64ull << 20;
+
+    scmp::MultiprogParams params;
+    params.totalRefs =
+        (std::uint64_t)config.getInt("refs", 10'000'000);
+    params.quantum =
+        (scmp::Cycle)config.getInt("quantum", 5'000'000);
+
+    auto apps = scmp::spec::makeSpecWorkload();
+    std::printf("processes: ");
+    for (const auto &app : apps)
+        std::printf("%s ", app->name().c_str());
+    std::printf("\n");
+
+    scmp::MultiprogResult result =
+        scmp::runMultiprog(machine, std::move(apps), params);
+
+    std::printf("machine             1 cluster x %d procs, %s SCC\n",
+                machine.cpusPerCluster,
+                scmp::sizeString(machine.scc.sizeBytes).c_str());
+    std::printf("makespan            %llu cycles\n",
+                (unsigned long long)result.cycles);
+    std::printf("data references     %llu\n",
+                (unsigned long long)result.references);
+    std::printf("read miss rate      %.2f%%\n",
+                100.0 * result.readMissRate);
+    std::printf("icache miss rate    %.2f%%\n",
+                100.0 * result.icacheMissRate);
+    std::printf("context switches    %llu\n",
+                (unsigned long long)result.contextSwitches);
+    std::printf("verified            %s\n",
+                result.verified ? "yes" : "NO");
+    return result.verified ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Design-space exploration: sweep processors-per-cluster and SCC
+ * size for a chosen SPLASH workload and print the paper's four
+ * views (normalized time, speedup, read miss rate, invalidations).
+ *
+ * Usage:
+ *   design_space [barnes|mp3d|cholesky]
+ *                [--quick] [--sizes=4K,64K,512K] [--procs=1,2,4,8]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/design_space.hh"
+#include "sim/config.hh"
+#include "workloads/splash/barnes.hh"
+#include "workloads/splash/cholesky.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace
+{
+
+std::vector<std::uint64_t>
+parseSizes(const std::string &text)
+{
+    std::vector<std::uint64_t> sizes;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        bool ok = false;
+        std::uint64_t size = scmp::Config::parseSize(token, &ok);
+        if (!ok)
+            fatal("bad size '", token, "' in --sizes");
+        sizes.push_back(size);
+    }
+    return sizes;
+}
+
+std::vector<int>
+parseProcs(const std::string &text)
+{
+    std::vector<int> procs;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        procs.push_back(std::stoi(token));
+    return procs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    scmp::Config config;
+    auto positional = config.parseArgs(argc, argv);
+    std::string which =
+        positional.empty() ? "barnes" : positional[0];
+    bool quick = config.getBool("quick", false);
+
+    auto sizes = config.has("sizes")
+                     ? parseSizes(config.getString("sizes"))
+                     : scmp::DesignSpace::paperSccSizes();
+    auto procs = config.has("procs")
+                     ? parseProcs(config.getString("procs"))
+                     : scmp::DesignSpace::paperClusterSizes();
+
+    scmp::DesignSpace::WorkloadFactory factory;
+    if (which == "barnes") {
+        scmp::splash::BarnesParams params;
+        if (quick) {
+            params.nbodies = 256;
+            params.steps = 2;
+        }
+        factory = [params] {
+            return std::make_unique<scmp::splash::Barnes>(params);
+        };
+    } else if (which == "mp3d") {
+        scmp::splash::Mp3dParams params;
+        if (quick) {
+            params.nparticles = 2000;
+            params.steps = 2;
+        }
+        factory = [params] {
+            return std::make_unique<scmp::splash::Mp3d>(params);
+        };
+    } else if (which == "cholesky") {
+        scmp::splash::CholeskyParams params;
+        if (quick) {
+            params.gridRows = 16;
+            params.gridCols = 16;
+        }
+        factory = [params] {
+            return std::make_unique<scmp::splash::Cholesky>(
+                params);
+        };
+    } else {
+        fatal("unknown workload '", which,
+              "' (want barnes, mp3d or cholesky)");
+    }
+
+    scmp::MachineConfig base;
+    auto points =
+        scmp::DesignSpace::sweep(factory, base, sizes, procs, true);
+
+    scmp::DesignSpace::normalizedTimeTable(
+        which + ": normalized execution time", points, sizes,
+        procs)
+        .print(std::cout);
+    scmp::DesignSpace::speedupTable(
+        which + ": speedup vs 1 proc/cluster", points, sizes,
+        procs)
+        .print(std::cout);
+    scmp::DesignSpace::missRateTable(
+        which + ": read miss rate", points, sizes, procs)
+        .print(std::cout);
+    scmp::DesignSpace::invalidationTable(
+        which + ": invalidations performed", points, sizes, procs)
+        .print(std::cout);
+    return 0;
+}

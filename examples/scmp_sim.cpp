@@ -1,0 +1,177 @@
+/**
+ * @file
+ * scmp_sim — the unified command-line driver.
+ *
+ * Runs any workload on any machine configuration the library
+ * supports, entirely from flags, and reports the standard metric
+ * block (optionally the full statistics tree or CSV). This is the
+ * binary a downstream user scripts sweeps with.
+ *
+ * Usage:
+ *   scmp_sim <barnes|mp3d|cholesky|multiprog>
+ *     [--clusters=N] [--procs=N] [--scc=SIZE] [--line=SIZE]
+ *     [--assoc=N] [--banks=N] [--organization=shared|private]
+ *     [--protocol=invalidate|update] [--bus-occupancy=N]
+ *     [--icache=0|1] [--stats] [--csv]
+ *     workload knobs:
+ *       barnes:   [--bodies=N] [--steps=N] [--theta=X]
+ *       mp3d:     [--particles=N] [--steps=N]
+ *       cholesky: [--grid-rows=N] [--grid-cols=N]
+ *       multiprog:[--refs=N] [--quantum=N]
+ *
+ * Examples:
+ *   scmp_sim barnes --procs=8 --scc=128K
+ *   scmp_sim mp3d --protocol=update --stats
+ *   scmp_sim multiprog --procs=4 --scc=64K --refs=2000000
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/parallel_run.hh"
+#include "multiprog/scheduler.hh"
+#include "sim/config.hh"
+#include "workloads/spec/spec_app.hh"
+#include "workloads/splash/barnes.hh"
+#include "workloads/splash/cholesky.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+MachineConfig
+machineFromFlags(const Config &config)
+{
+    MachineConfig machine;
+    machine.numClusters = (int)config.getInt("clusters", 4);
+    machine.cpusPerCluster = (int)config.getInt("procs", 2);
+    machine.scc.sizeBytes = config.getSize("scc", 64 << 10);
+    machine.scc.lineBytes =
+        (std::uint32_t)config.getSize("line", 16);
+    machine.scc.assoc = (std::uint32_t)config.getInt("assoc", 1);
+    machine.scc.banksPerCpu =
+        (std::uint32_t)config.getInt("banks", 4);
+    machine.bus.transferOccupancy =
+        (Cycle)config.getInt("bus-occupancy", 1);
+    machine.icache.enabled = config.getBool("icache", false);
+
+    std::string organization =
+        config.getString("organization", "shared");
+    if (organization == "private") {
+        machine.organization =
+            ClusterOrganization::PrivateCaches;
+    } else if (organization != "shared") {
+        fatal("--organization must be 'shared' or 'private'");
+    }
+
+    std::string protocol =
+        config.getString("protocol", "invalidate");
+    if (protocol == "update") {
+        machine.scc.protocol = CoherenceProtocol::WriteUpdate;
+    } else if (protocol != "invalidate") {
+        fatal("--protocol must be 'invalidate' or 'update'");
+    }
+    return machine;
+}
+
+void
+printMetrics(const char *workload, const MachineConfig &machine,
+             Cycle cycles, std::uint64_t refs, double readMiss,
+             std::uint64_t invalidations, bool verified, bool csv)
+{
+    if (csv) {
+        std::printf("workload,clusters,procs,scc,cycles,refs,"
+                    "readMissRate,invalidations,verified\n");
+        std::printf("%s,%d,%d,%s,%llu,%llu,%.6f,%llu,%d\n",
+                    workload, machine.numClusters,
+                    machine.cpusPerCluster,
+                    sizeString(machine.scc.sizeBytes).c_str(),
+                    (unsigned long long)cycles,
+                    (unsigned long long)refs, readMiss,
+                    (unsigned long long)invalidations,
+                    verified ? 1 : 0);
+        return;
+    }
+    std::printf("workload            %s\n", workload);
+    std::printf("machine             %d clusters x %d procs, %s\n",
+                machine.numClusters, machine.cpusPerCluster,
+                sizeString(machine.scc.sizeBytes).c_str());
+    std::printf("execution time      %llu cycles\n",
+                (unsigned long long)cycles);
+    std::printf("data references     %llu\n",
+                (unsigned long long)refs);
+    std::printf("read miss rate      %.2f%%\n", 100.0 * readMiss);
+    std::printf("invalidations       %llu\n",
+                (unsigned long long)invalidations);
+    std::printf("verified            %s\n",
+                verified ? "yes" : "NO");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    auto positional = config.parseArgs(argc, argv);
+    if (positional.empty()) {
+        std::fprintf(stderr,
+                     "usage: scmp_sim "
+                     "<barnes|mp3d|cholesky|multiprog> [flags]\n"
+                     "see the file header for the flag list\n");
+        return 2;
+    }
+    std::string which = positional[0];
+    MachineConfig machine = machineFromFlags(config);
+    bool csv = config.getBool("csv", false);
+    bool stats = config.getBool("stats", false);
+
+    if (which == "multiprog") {
+        MultiprogParams params;
+        params.totalRefs =
+            (std::uint64_t)config.getInt("refs", 4'000'000);
+        params.quantum =
+            (Cycle)config.getInt("quantum", 5'000'000);
+        auto result = runMultiprog(
+            machine, spec::makeSpecWorkload(), params);
+        printMetrics("multiprog", machine, result.cycles,
+                     result.references, result.readMissRate,
+                     result.invalidations, result.verified, csv);
+        return result.verified ? 0 : 1;
+    }
+
+    std::unique_ptr<ParallelWorkload> workload;
+    if (which == "barnes") {
+        splash::BarnesParams params;
+        params.nbodies = (int)config.getInt("bodies", 1024);
+        params.steps = (int)config.getInt("steps", 4);
+        params.theta = config.getDouble("theta", params.theta);
+        workload = std::make_unique<splash::Barnes>(params);
+    } else if (which == "mp3d") {
+        splash::Mp3dParams params;
+        params.nparticles =
+            (int)config.getInt("particles", 10000);
+        params.steps = (int)config.getInt("steps", 5);
+        workload = std::make_unique<splash::Mp3d>(params);
+    } else if (which == "cholesky") {
+        splash::CholeskyParams params;
+        params.gridRows = (int)config.getInt("grid-rows", 42);
+        params.gridCols = (int)config.getInt("grid-cols", 43);
+        workload = std::make_unique<splash::Cholesky>(params);
+    } else {
+        fatal("unknown workload '", which, "'");
+    }
+
+    auto result = runParallel(machine, *workload, nullptr,
+                              stats ? &std::cout : nullptr);
+    printMetrics(which.c_str(), machine, result.cycles,
+                 result.references, result.readMissRate,
+                 result.invalidations, result.verified, csv);
+
+    auto unread = config.unreadKeys();
+    for (const auto &key : unread)
+        warn("unused option --", key);
+    return result.verified ? 0 : 1;
+}

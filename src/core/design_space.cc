@@ -1,0 +1,166 @@
+#include "design_space.hh"
+
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+std::vector<std::uint64_t>
+DesignSpace::paperSccSizes()
+{
+    return {4ull << 10,  8ull << 10,   16ull << 10, 32ull << 10,
+            64ull << 10, 128ull << 10, 256ull << 10, 512ull << 10};
+}
+
+std::vector<int>
+DesignSpace::paperClusterSizes()
+{
+    return {1, 2, 4, 8};
+}
+
+std::vector<DesignPoint>
+DesignSpace::sweep(const WorkloadFactory &factory, MachineConfig base,
+                   const std::vector<std::uint64_t> &sccSizes,
+                   const std::vector<int> &clusterSizes, bool verbose)
+{
+    std::vector<DesignPoint> points;
+    for (int procs : clusterSizes) {
+        for (std::uint64_t size : sccSizes) {
+            MachineConfig config = base;
+            config.cpusPerCluster = procs;
+            config.scc.sizeBytes = size;
+
+            auto workload = factory();
+            DesignPoint point;
+            point.cpusPerCluster = procs;
+            point.sccBytes = size;
+            point.result = runParallel(config, *workload);
+            if (verbose) {
+                inform(workload->name(), ": ", procs, "P/cluster ",
+                       sizeString(size), " -> ",
+                       point.result.cycles, " cycles, rdMiss=",
+                       point.result.readMissRate);
+            }
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+const DesignPoint &
+DesignSpace::at(const std::vector<DesignPoint> &points,
+                int cpusPerCluster, std::uint64_t sccBytes)
+{
+    for (const auto &point : points) {
+        if (point.cpusPerCluster == cpusPerCluster &&
+            point.sccBytes == sccBytes) {
+            return point;
+        }
+    }
+    panic("design point ", cpusPerCluster, "P/",
+          sizeString(sccBytes), " not in sweep results");
+}
+
+namespace
+{
+
+std::vector<std::string>
+axisHeader(const std::vector<int> &clusterSizes)
+{
+    std::vector<std::string> header{"SCC Size"};
+    for (int procs : clusterSizes) {
+        header.push_back(std::to_string(procs) +
+                         (procs == 1 ? " Proc/cl" : " Procs/cl"));
+    }
+    return header;
+}
+
+} // namespace
+
+Table
+DesignSpace::normalizedTimeTable(
+    const std::string &title, const std::vector<DesignPoint> &points,
+    const std::vector<std::uint64_t> &sccSizes,
+    const std::vector<int> &clusterSizes)
+{
+    Table table(title);
+    table.setHeader(axisHeader(clusterSizes));
+    double base =
+        (double)at(points, clusterSizes.front(), sccSizes.front())
+            .result.cycles;
+    for (std::uint64_t size : sccSizes) {
+        std::vector<std::string> row{sizeString(size)};
+        for (int procs : clusterSizes) {
+            double t = (double)at(points, procs, size).result.cycles;
+            row.push_back(Table::cell(100.0 * t / base, 1));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+Table
+DesignSpace::speedupTable(const std::string &title,
+                          const std::vector<DesignPoint> &points,
+                          const std::vector<std::uint64_t> &sccSizes,
+                          const std::vector<int> &clusterSizes)
+{
+    Table table(title);
+    table.setHeader(axisHeader(clusterSizes));
+    for (std::uint64_t size : sccSizes) {
+        std::vector<std::string> row{sizeString(size)};
+        double base = (double)at(points, 1, size).result.cycles;
+        for (int procs : clusterSizes) {
+            double t = (double)at(points, procs, size).result.cycles;
+            row.push_back(Table::cell(base / t, 1));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+Table
+DesignSpace::missRateTable(const std::string &title,
+                           const std::vector<DesignPoint> &points,
+                           const std::vector<std::uint64_t> &sccSizes,
+                           const std::vector<int> &clusterSizes)
+{
+    Table table(title);
+    std::vector<std::string> header{"Procs/cluster"};
+    for (std::uint64_t size : sccSizes)
+        header.push_back(sizeString(size));
+    table.setHeader(header);
+    for (int procs : clusterSizes) {
+        std::vector<std::string> row{std::to_string(procs)};
+        for (std::uint64_t size : sccSizes) {
+            row.push_back(Table::percentCell(
+                at(points, procs, size).result.readMissRate));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+Table
+DesignSpace::invalidationTable(
+    const std::string &title, const std::vector<DesignPoint> &points,
+    const std::vector<std::uint64_t> &sccSizes,
+    const std::vector<int> &clusterSizes)
+{
+    Table table(title);
+    std::vector<std::string> header{"Procs/cluster"};
+    for (std::uint64_t size : sccSizes)
+        header.push_back(sizeString(size));
+    table.setHeader(header);
+    for (int procs : clusterSizes) {
+        std::vector<std::string> row{std::to_string(procs)};
+        for (std::uint64_t size : sccSizes) {
+            row.push_back(Table::cell(
+                at(points, procs, size).result.invalidations));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+} // namespace scmp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The processor–cache design-space sweep driver.
+ *
+ * Runs a workload across {processors per cluster} x {SCC size},
+ * producing the grids behind the paper's Figures 2–4 and Tables
+ * 3–4, plus normalization and speedup views over those grids.
+ */
+
+#ifndef SCMP_CORE_DESIGN_SPACE_HH
+#define SCMP_CORE_DESIGN_SPACE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/parallel_run.hh"
+#include "sim/table.hh"
+
+namespace scmp
+{
+
+/** One evaluated configuration. */
+struct DesignPoint
+{
+    int cpusPerCluster = 0;
+    std::uint64_t sccBytes = 0;
+    RunResult result;
+};
+
+/** Sweep driver and result views. */
+class DesignSpace
+{
+  public:
+    using WorkloadFactory =
+        std::function<std::unique_ptr<ParallelWorkload>()>;
+
+    /** The paper's SCC size axis: 4 KB .. 512 KB. */
+    static std::vector<std::uint64_t> paperSccSizes();
+
+    /** The paper's cluster size axis: 1, 2, 4, 8. */
+    static std::vector<int> paperClusterSizes();
+
+    /**
+     * Run the full grid. A fresh workload instance is created per
+     * point so state never leaks between runs.
+     *
+     * @param factory Creates the workload for each point.
+     * @param base    Machine configuration template; the sweep
+     *                overrides cpusPerCluster and scc.sizeBytes.
+     * @param sccSizes SCC size axis.
+     * @param clusterSizes processors-per-cluster axis.
+     * @param verbose  inform() progress per point.
+     */
+    static std::vector<DesignPoint>
+    sweep(const WorkloadFactory &factory, MachineConfig base,
+          const std::vector<std::uint64_t> &sccSizes,
+          const std::vector<int> &clusterSizes,
+          bool verbose = false);
+
+    /** Find a point in a sweep result; panics if absent. */
+    static const DesignPoint &
+    at(const std::vector<DesignPoint> &points, int cpusPerCluster,
+       std::uint64_t sccBytes);
+
+    /**
+     * Figure 2/3/4 view: normalized execution time, one row per
+     * SCC size, one column per cluster size. Times are normalized
+     * so the (1 processor per cluster, smallest SCC) point is 100.
+     */
+    static Table normalizedTimeTable(
+        const std::string &title,
+        const std::vector<DesignPoint> &points,
+        const std::vector<std::uint64_t> &sccSizes,
+        const std::vector<int> &clusterSizes);
+
+    /**
+     * Table 3 view: speedup of each cluster size relative to one
+     * processor per cluster at the same SCC size.
+     */
+    static Table speedupTable(
+        const std::string &title,
+        const std::vector<DesignPoint> &points,
+        const std::vector<std::uint64_t> &sccSizes,
+        const std::vector<int> &clusterSizes);
+
+    /**
+     * Table 4 view: read miss rate for selected SCC sizes, one row
+     * per cluster size.
+     */
+    static Table missRateTable(
+        const std::string &title,
+        const std::vector<DesignPoint> &points,
+        const std::vector<std::uint64_t> &sccSizes,
+        const std::vector<int> &clusterSizes);
+
+    /** Invalidation counts (the paper's clustering claim). */
+    static Table invalidationTable(
+        const std::string &title,
+        const std::vector<DesignPoint> &points,
+        const std::vector<std::uint64_t> &sccSizes,
+        const std::vector<int> &clusterSizes);
+};
+
+} // namespace scmp
+
+#endif // SCMP_CORE_DESIGN_SPACE_HH

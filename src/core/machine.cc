@@ -1,0 +1,172 @@
+#include "machine.hh"
+
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+void
+MachineConfig::check() const
+{
+    fatal_if(numClusters <= 0, "need at least one cluster");
+    fatal_if(cpusPerCluster <= 0,
+             "need at least one processor per cluster");
+    fatal_if(!isPowerOf2(scc.sizeBytes), "SCC size must be 2^n");
+    fatal_if(scc.lineBytes == 0 || !isPowerOf2(scc.lineBytes),
+             "SCC line size must be a power of two");
+    fatal_if(arenaBytes == 0, "arena must be non-empty");
+}
+
+Machine::Machine(const MachineConfig &config)
+    : _config(config), _root("system")
+{
+    _config.check();
+    _bus = std::make_unique<SnoopyBus>(&_root, _config.bus);
+
+    if (_config.organization == ClusterOrganization::SharedCache) {
+        for (int c = 0; c < _config.numClusters; ++c) {
+            auto group = std::make_unique<stats::Group>(
+                &_root, "cluster" + std::to_string(c));
+            _sccs.push_back(std::make_unique<SharedClusterCache>(
+                group.get(), c, _config.cpusPerCluster,
+                _config.scc, _bus.get()));
+            _bus->attach(_sccs.back().get());
+
+            for (int p = 0; p < _config.cpusPerCluster; ++p) {
+                _icaches.push_back(std::make_unique<ICache>(
+                    group.get(), "icache" + std::to_string(p), c,
+                    _config.icache, _bus.get()));
+            }
+            _clusterGroups.push_back(std::move(group));
+        }
+    } else {
+        // Conventional organization: one private cache per
+        // processor, every cache snooping the bus directly.
+        SccParams params = _config.scc;
+        if (_config.privateCacheBytes)
+            params.sizeBytes = _config.privateCacheBytes;
+        for (CpuId cpu = 0; cpu < _config.totalCpus(); ++cpu) {
+            auto group = std::make_unique<stats::Group>(
+                &_root, "cpu" + std::to_string(cpu));
+            _sccs.push_back(std::make_unique<SharedClusterCache>(
+                group.get(), cpu, 1, params, _bus.get()));
+            _bus->attach(_sccs.back().get());
+            _icaches.push_back(std::make_unique<ICache>(
+                group.get(), "icache", cpu, _config.icache,
+                _bus.get()));
+            _clusterGroups.push_back(std::move(group));
+        }
+    }
+}
+
+Machine::~Machine() = default;
+
+ClusterId
+Machine::clusterOf(CpuId cpu) const
+{
+    panic_if(cpu < 0 || cpu >= _config.totalCpus(),
+             "bad cpu id ", cpu);
+    return cpu / _config.cpusPerCluster;
+}
+
+int
+Machine::localIndexOf(CpuId cpu) const
+{
+    return cpu % _config.cpusPerCluster;
+}
+
+SharedClusterCache &
+Machine::scc(ClusterId cluster)
+{
+    panic_if(cluster < 0 || cluster >= (ClusterId)_sccs.size(),
+             "bad cluster id ", cluster);
+    return *_sccs[(std::size_t)cluster];
+}
+
+const SharedClusterCache &
+Machine::scc(ClusterId cluster) const
+{
+    panic_if(cluster < 0 || cluster >= (ClusterId)_sccs.size(),
+             "bad cluster id ", cluster);
+    return *_sccs[(std::size_t)cluster];
+}
+
+ICache &
+Machine::icache(CpuId cpu)
+{
+    panic_if(cpu < 0 || cpu >= (CpuId)_icaches.size(),
+             "bad cpu id ", cpu);
+    return *_icaches[(std::size_t)cpu];
+}
+
+void
+Machine::setIStream(CpuId cpu, Addr codeBase, std::uint64_t bytes)
+{
+    icache(cpu).setStream(codeBase, bytes);
+}
+
+SharedClusterCache &
+Machine::cacheOf(CpuId cpu)
+{
+    if (_config.organization == ClusterOrganization::PrivateCaches)
+        return *_sccs[(std::size_t)cpu];
+    return *_sccs[(std::size_t)clusterOf(cpu)];
+}
+
+Cycle
+Machine::access(CpuId cpu, RefType type, Addr addr, Cycle now,
+                std::uint32_t instrGap)
+{
+    // Instruction fetch stalls delay the data access.
+    Cycle start = now + icache(cpu).fetch(instrGap, now);
+    int local =
+        _config.organization == ClusterOrganization::PrivateCaches
+            ? 0
+            : localIndexOf(cpu);
+    return cacheOf(cpu).access(local, type, addr, start);
+}
+
+double
+Machine::readMissRate() const
+{
+    double hits = 0;
+    double misses = 0;
+    for (const auto &scc : _sccs) {
+        hits += scc->readHits.value();
+        misses += scc->readMisses.value();
+    }
+    double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+double
+Machine::missRate() const
+{
+    double hits = 0;
+    double misses = 0;
+    for (const auto &scc : _sccs) {
+        hits += scc->readHits.value() + scc->writeHits.value();
+        misses += scc->readMisses.value() + scc->writeMisses.value();
+    }
+    double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+std::uint64_t
+Machine::invalidations() const
+{
+    return _bus->invalidationsPerformed();
+}
+
+std::uint64_t
+Machine::dataAccesses() const
+{
+    double total = 0;
+    for (const auto &scc : _sccs) {
+        total += scc->readHits.value() + scc->readMisses.value() +
+                 scc->writeHits.value() + scc->writeMisses.value();
+    }
+    return (std::uint64_t)total;
+}
+
+} // namespace scmp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The whole simulated machine: clusters of processors around
+ * shared cluster caches, snooping on one inter-cluster bus.
+ *
+ * This is the paper's base architecture (its Figure 1): each
+ * cluster has one SCC for data, a private instruction cache per
+ * processor, and access to main memory over the shared snoopy bus.
+ */
+
+#ifndef SCMP_CORE_MACHINE_HH
+#define SCMP_CORE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "exec/engine.hh"
+#include "mem/bus.hh"
+#include "mem/icache.hh"
+#include "mem/scc.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/**
+ * Cluster organization (the paper's Section 2.1 alternatives).
+ *
+ * SharedCache is the paper's proposal: processors in a cluster
+ * share one multiported SCC and only the four SCCs snoop the bus.
+ * PrivateCaches is the conventional alternative it argues against:
+ * every processor has its own cache and snoops the bus directly,
+ * so coherence traffic grows with the processor count.
+ */
+enum class ClusterOrganization
+{
+    SharedCache,
+    PrivateCaches,
+};
+
+/** Full machine configuration — one design-space point. */
+struct MachineConfig
+{
+    /** Clusters on the bus (the paper simulates four). */
+    int numClusters = 4;
+
+    /** Processors sharing each SCC (the paper sweeps 1,2,4,8). */
+    int cpusPerCluster = 1;
+
+    /** Shared cluster cache vs per-processor private caches. */
+    ClusterOrganization organization =
+        ClusterOrganization::SharedCache;
+
+    /**
+     * PrivateCaches only: each processor's cache capacity. Zero
+     * means "the SCC size", i.e. every private cache is as large
+     * as the whole shared cache would have been — the comparison
+     * that isolates coherence traffic from capacity.
+     */
+    std::uint64_t privateCacheBytes = 0;
+
+    SccParams scc;
+    BusParams bus;
+    ICacheParams icache;
+    EngineOptions engine;
+
+    /** Simulated shared-heap capacity for the workload. */
+    std::size_t arenaBytes = 64ull << 20;
+
+    int totalCpus() const { return numClusters * cpusPerCluster; }
+
+    /** Sanity-check user-supplied values; fatal on error. */
+    void check() const;
+};
+
+/**
+ * The machine model: implements the engine's MemorySystem
+ * interface, routing each processor's references to its cluster's
+ * SCC and instruction cache.
+ */
+class Machine : public MemorySystem
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine() override;
+
+    Cycle access(CpuId cpu, RefType type, Addr addr, Cycle now,
+                 std::uint32_t instrGap) override;
+
+    /// @name Topology accessors.
+    /// @{
+    const MachineConfig &config() const { return _config; }
+    ClusterId clusterOf(CpuId cpu) const;
+    int localIndexOf(CpuId cpu) const;
+    /** Caches on the bus (clusters, or cpus when private). */
+    int numCaches() const { return (int)_sccs.size(); }
+    /** The cache serving @p cpu (its SCC or its private cache). */
+    SharedClusterCache &cacheOf(CpuId cpu);
+    SharedClusterCache &scc(ClusterId cluster);
+    const SharedClusterCache &scc(ClusterId cluster) const;
+    ICache &icache(CpuId cpu);
+    SnoopyBus &bus() { return *_bus; }
+    const SnoopyBus &bus() const { return *_bus; }
+    stats::Group &statsRoot() { return _root; }
+    /// @}
+
+    /** Re-point a processor's instruction stream (multiprog). */
+    void setIStream(CpuId cpu, Addr codeBase, std::uint64_t bytes);
+
+    /// @name Machine-wide metrics for the experiment harnesses.
+    /// @{
+    /** Read miss rate aggregated over all SCCs. */
+    double readMissRate() const;
+    /** All misses / all accesses over all SCCs. */
+    double missRate() const;
+    /** Invalidations actually performed system-wide. */
+    std::uint64_t invalidations() const;
+    /** Total SCC accesses (reads + writes). */
+    std::uint64_t dataAccesses() const;
+    /// @}
+
+  private:
+    MachineConfig _config;
+    stats::Group _root;
+    std::unique_ptr<SnoopyBus> _bus;
+    std::vector<std::unique_ptr<stats::Group>> _clusterGroups;
+    std::vector<std::unique_ptr<SharedClusterCache>> _sccs;
+    std::vector<std::unique_ptr<ICache>> _icaches;
+};
+
+} // namespace scmp
+
+#endif // SCMP_CORE_MACHINE_HH

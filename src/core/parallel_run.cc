@@ -1,0 +1,56 @@
+#include "parallel_run.hh"
+
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+RunResult
+runParallel(const MachineConfig &config, ParallelWorkload &workload,
+            Arena *externalArena, std::ostream *statsDump)
+{
+    Machine machine(config);
+    std::unique_ptr<Arena> owned;
+    Arena *arenaPtr = externalArena;
+    if (!arenaPtr) {
+        owned = std::make_unique<Arena>(config.arenaBytes);
+        arenaPtr = owned.get();
+    }
+    Arena &arena = *arenaPtr;
+    Engine engine(&machine, &arena, config.engine);
+
+    Topology topo{config.numClusters, config.cpusPerCluster};
+    int n = topo.totalCpus();
+    workload.setup(arena, topo);
+
+    for (CpuId cpu = 0; cpu < n; ++cpu) {
+        engine.spawn(cpu, [&workload, cpu, topo](ThreadCtx &ctx) {
+            workload.threadMain(ctx, cpu, topo);
+        });
+    }
+    engine.run();
+
+    RunResult result;
+    result.cycles = engine.finishTime();
+    result.instructions = engine.totalInstructions();
+    result.references = engine.totalRefs();
+    result.readMissRate = machine.readMissRate();
+    result.missRate = machine.missRate();
+    result.invalidations = machine.invalidations();
+    result.busTransactions =
+        (std::uint64_t)machine.bus().transactions.value();
+    result.busUtilization =
+        machine.bus().utilization(result.cycles);
+    if (statsDump)
+        machine.statsRoot().dump(*statsDump);
+    result.verified = workload.verify();
+    if (!result.verified) {
+        warn("workload '", workload.name(),
+             "' failed verification (procs/cluster=",
+             config.cpusPerCluster, ", scc=",
+             sizeString(config.scc.sizeBytes), ")");
+    }
+    return result;
+}
+
+} // namespace scmp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * One end-to-end simulated run of a parallel workload.
+ */
+
+#ifndef SCMP_CORE_PARALLEL_RUN_HH
+#define SCMP_CORE_PARALLEL_RUN_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "core/machine.hh"
+#include "core/workload.hh"
+
+namespace scmp
+{
+
+/** Metrics extracted from one run. */
+struct RunResult
+{
+    Cycle cycles = 0;              //!< parallel execution time
+    std::uint64_t instructions = 0;
+    std::uint64_t references = 0;  //!< simulated data references
+    double readMissRate = 0;
+    double missRate = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t busTransactions = 0;
+    double busUtilization = 0;
+    bool verified = false;
+};
+
+/**
+ * Build a machine from @p config, run @p workload on it with one
+ * thread per processor, and collect the result.
+ *
+ * @param arena Optional externally-owned simulated heap. Pass one
+ *              when you need to inspect workload data after the
+ *              run (the internal arena dies with the call).
+ * @param statsDump Optional stream; when set, the machine's full
+ *              hierarchical statistics tree is dumped to it after
+ *              the run.
+ */
+RunResult runParallel(const MachineConfig &config,
+                      ParallelWorkload &workload,
+                      Arena *arena = nullptr,
+                      std::ostream *statsDump = nullptr);
+
+} // namespace scmp
+
+#endif // SCMP_CORE_PARALLEL_RUN_HH

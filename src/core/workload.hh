@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Interface every parallel (SPLASH-style) workload implements.
+ *
+ * The lifecycle mirrors an ANL-macro program: single-threaded
+ * setup allocates shared structures from the simulated heap, then
+ * every simulated processor runs threadMain, and finally the host
+ * verifies the computed answer.
+ */
+
+#ifndef SCMP_CORE_WORKLOAD_HH
+#define SCMP_CORE_WORKLOAD_HH
+
+#include <string>
+
+#include "exec/arena.hh"
+#include "exec/engine.hh"
+
+namespace scmp
+{
+
+/**
+ * The machine shape visible to a workload. SPLASH-era codes were
+ * tuned to the machine's clustering (the paper partitions bodies
+ * so that processors within a cluster own tree-adjacent work), so
+ * workloads receive the cluster topology, not just a thread count.
+ */
+struct Topology
+{
+    int numClusters = 1;
+    int cpusPerCluster = 1;
+
+    int totalCpus() const { return numClusters * cpusPerCluster; }
+    int clusterOf(int tid) const { return tid / cpusPerCluster; }
+    int localOf(int tid) const { return tid % cpusPerCluster; }
+};
+
+/** A parallel application runnable on the simulated machine. */
+class ParallelWorkload
+{
+  public:
+    virtual ~ParallelWorkload() = default;
+
+    /** Short name for tables and logs. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Allocate and initialize shared data. Runs host-side (not
+     * simulated) before any simulated thread exists, mirroring the
+     * unmeasured initialization phase of the SPLASH codes.
+     */
+    virtual void setup(Arena &arena, const Topology &topo) = 0;
+
+    /**
+     * Per-processor body; every memory reference to shared data
+     * must go through @p ctx.
+     */
+    virtual void threadMain(ThreadCtx &ctx, int tid,
+                            const Topology &topo) = 0;
+
+    /**
+     * Host-side answer check after the run.
+     * @return true when the computed result is acceptable.
+     */
+    virtual bool verify() { return true; }
+};
+
+} // namespace scmp
+
+#endif // SCMP_CORE_WORKLOAD_HH

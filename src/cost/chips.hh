@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's four cluster chip designs (Sections 4.2-4.5) and the
+ * machine implementations built from them (Section 5).
+ */
+
+#ifndef SCMP_COST_CHIPS_HH
+#define SCMP_COST_CHIPS_HH
+
+#include <string>
+#include <vector>
+
+#include "cost/area_model.hh"
+#include "cost/timing_model.hh"
+
+namespace scmp::cost
+{
+
+/** One chip design (a cluster, or an MCM building block). */
+struct ChipDesign
+{
+    std::string name;
+    int processorsOnChip = 1;
+    int clusterProcessors = 1;      //!< processors per cluster
+    std::uint64_t dataCacheBytes = 0;
+    bool sharedCache = false;       //!< SCC vs private data cache
+    bool mcm = false;               //!< needs MCM packaging
+    int icnPorts = 0;               //!< crossbar ports per chip
+    int signalPads = 300;
+    bool c4Pads = false;
+
+    /** Total chip area under the given model. */
+    double areaMm2(const AreaModel &model) const;
+
+    /** Load latency in cycles under the timing model. */
+    int loadLatency(const TimingModel &timing) const;
+};
+
+/** A full cluster implementation (possibly several chips). */
+struct ClusterImplementation
+{
+    ChipDesign chip;
+    int chipsPerCluster = 1;
+
+    /** Silicon area of one cluster. */
+    double
+    clusterAreaMm2(const AreaModel &model) const
+    {
+        return chip.areaMm2(model) * chipsPerCluster;
+    }
+
+    /** Total SCC capacity of the cluster. */
+    std::uint64_t
+    clusterCacheBytes() const
+    {
+        return chip.dataCacheBytes * chipsPerCluster;
+    }
+};
+
+/// @name The paper's four designs.
+/// @{
+/** 4.2: one processor, private 64 KB data cache, 204 mm^2. */
+ChipDesign oneProcChip();
+/** 4.3: two processors sharing a 32 KB SCC, 279 mm^2. */
+ChipDesign twoProcChip();
+/** 4.4: four-processor-cluster building block (MCM), 297 mm^2. */
+ChipDesign fourProcBuildingBlock();
+/** 4.5: eight-processor-cluster building block (C4), 306 mm^2. */
+ChipDesign eightProcBuildingBlock();
+
+/** The Section-5 cluster implementations, in paper order. */
+std::vector<ClusterImplementation> paperImplementations();
+/// @}
+
+} // namespace scmp::cost
+
+#endif // SCMP_COST_CHIPS_HH

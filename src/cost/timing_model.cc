@@ -1,0 +1,38 @@
+#include "timing_model.hh"
+
+#include <cmath>
+
+namespace scmp::cost
+{
+
+double
+TimingModel::cacheAccessFo4(std::uint64_t bytes) const
+{
+    // Decode scales with log2 of the array; wordline/bitline RC
+    // with sqrt of the array. Constants fitted so a 64 KB
+    // direct-mapped cache uses exactly the 30-FO4 cycle and a
+    // 128 KB cache misses it.
+    double kb = (double)bytes / 1024.0;
+    double decode = std::log2(kb * 64.0);  // lines of 16 B
+    double array = 2.25 * std::sqrt(kb);
+    return decode + array;
+}
+
+int
+TimingModel::loadLatency(bool sharedCache, bool mcm) const
+{
+    int latency = 2;  // base five-stage pipeline, MEM in stage 4
+    if (sharedCache) {
+        // Bank arbitration (17 FO4) cannot share the 30-FO4
+        // access cycle: add an arbitration stage.
+        if (arbitrationFo4 + 0.5 * cycleFo4 > cycleFo4)
+            ++latency;
+    }
+    if (mcm) {
+        // Chip crossing adds a transfer stage.
+        ++latency;
+    }
+    return latency;
+}
+
+} // namespace scmp::cost

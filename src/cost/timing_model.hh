@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FO4-based timing rules (Sections 4.1-4.5).
+ *
+ * The processor cycle is fixed at 30 FO4 inverter delays (the
+ * Alpha 21064's aggressive circuit design). A 64 KB direct-mapped
+ * cache is the largest accessible within that budget, giving the
+ * one-processor chip a two-cycle load. SCC bank arbitration costs
+ * 17 FO4 and will not fit in the cycle, adding a pipeline stage
+ * (three-cycle loads); an MCM chip crossing adds another
+ * (four-cycle loads).
+ */
+
+#ifndef SCMP_COST_TIMING_MODEL_HH
+#define SCMP_COST_TIMING_MODEL_HH
+
+#include <cstdint>
+
+namespace scmp::cost
+{
+
+/** FO4 timing budget and derived load latencies. */
+struct TimingModel
+{
+    double cycleFo4 = 30.0;
+
+    /** FO4 delay of SCC bank arbitration over the long ICN. */
+    double arbitrationFo4 = 17.0;
+
+    /** Largest direct-mapped cache readable in one cycle. */
+    std::uint64_t singleCycleCacheBytes = 64 * 1024;
+
+    /**
+     * Access delay of a direct-mapped cache, in FO4: a log-like
+     * growth fitted so 64 KB lands exactly on the 30-FO4 budget
+     * (decode + wordline + bitline + sense + bus-back).
+     */
+    double cacheAccessFo4(std::uint64_t bytes) const;
+
+    /** True if a cache of this size fits the one-cycle budget. */
+    bool
+    fitsSingleCycle(std::uint64_t bytes) const
+    {
+        return cacheAccessFo4(bytes) <= cycleFo4;
+    }
+
+    /**
+     * Load-use latency in cycles for a cluster organization.
+     *
+     * @param sharedCache Cluster uses a multiported SCC.
+     * @param mcm         Cache access crosses MCM chips.
+     */
+    int loadLatency(bool sharedCache, bool mcm) const;
+};
+
+} // namespace scmp::cost
+
+#endif // SCMP_COST_TIMING_MODEL_HH

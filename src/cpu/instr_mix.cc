@@ -1,0 +1,94 @@
+#include "instr_mix.hh"
+
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+void
+InstrMix::check() const
+{
+    double refFrac = loadFraction + storeFraction + branchFraction;
+    fatal_if(loadFraction < 0 || storeFraction < 0 ||
+                 branchFraction < 0 || refFrac > 1.0,
+             "instruction mix '", name, "': fractions out of range");
+    double mass = 0;
+    for (double p : useDistance) {
+        fatal_if(p < 0, "instruction mix '", name,
+                 "': negative use-distance probability");
+        mass += p;
+    }
+    fatal_if(mass > 1.0 + 1e-9, "instruction mix '", name,
+             "': use-distance mass exceeds 1");
+}
+
+InstrMix
+InstrMix::barnes()
+{
+    // Float-heavy force loop; the scheduler hides most latency.
+    InstrMix mix;
+    mix.name = "Barnes-Hut";
+    mix.loadFraction = 0.25;
+    mix.storeFraction = 0.08;
+    mix.branchFraction = 0.12;
+    mix.useDistance = {0.08, 0.18, 0.05, 0.05, 0.04};
+    return mix;
+}
+
+InstrMix
+InstrMix::mp3d()
+{
+    InstrMix mix;
+    mix.name = "MP3D";
+    mix.loadFraction = 0.26;
+    mix.storeFraction = 0.12;
+    mix.branchFraction = 0.12;
+    mix.useDistance = {0.08, 0.19, 0.05, 0.05, 0.04};
+    return mix;
+}
+
+InstrMix
+InstrMix::cholesky()
+{
+    // Tight DAXPY inner loops; loads feed multiplies quickly.
+    InstrMix mix;
+    mix.name = "Cholesky";
+    mix.loadFraction = 0.28;
+    mix.storeFraction = 0.11;
+    mix.branchFraction = 0.10;
+    mix.useDistance = {0.06, 0.20, 0.09, 0.05, 0.04};
+    return mix;
+}
+
+InstrMix
+InstrMix::multiprogramming()
+{
+    // Integer SPEC code: pointer chasing, short dependence chains.
+    InstrMix mix;
+    mix.name = "Multiprogramming";
+    mix.loadFraction = 0.27;
+    mix.storeFraction = 0.12;
+    mix.branchFraction = 0.17;
+    mix.useDistance = {0.07, 0.23, 0.08, 0.05, 0.04};
+    return mix;
+}
+
+InstrMix
+InstrMix::fromCounts(const std::string &name, std::uint64_t loads,
+                     std::uint64_t stores,
+                     std::uint64_t instructions,
+                     const InstrMix &base)
+{
+    fatal_if(instructions == 0, "instruction mix '", name,
+             "': no instructions measured");
+    fatal_if(loads + stores > instructions, "instruction mix '",
+             name, "': more references than instructions");
+    InstrMix mix = base;
+    mix.name = name;
+    mix.loadFraction = (double)loads / (double)instructions;
+    mix.storeFraction = (double)stores / (double)instructions;
+    mix.check();
+    return mix;
+}
+
+} // namespace scmp

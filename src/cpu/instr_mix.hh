@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Statistical instruction-stream descriptions (the pixstats role).
+ *
+ * The paper's Table 5 compares uniprocessor execution time under
+ * load latencies of 2, 3 and 4 cycles on a perfect memory system,
+ * for code the compiler scheduled assuming 3-cycle loads. We model
+ * each benchmark's dynamic instruction stream by its load/store/
+ * branch fractions and a load-use distance distribution — the
+ * probability that the first consumer of a load value issues k
+ * instructions after the load. The distance distribution encodes
+ * how well the scheduler hid load latency.
+ */
+
+#ifndef SCMP_CPU_INSTR_MIX_HH
+#define SCMP_CPU_INSTR_MIX_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace scmp
+{
+
+/** Instruction mix description for the pipeline model. */
+struct InstrMix
+{
+    std::string name;
+
+    /** Fraction of dynamic instructions that are loads. */
+    double loadFraction = 0.24;
+
+    /** Fraction that are stores. */
+    double storeFraction = 0.10;
+
+    /** Fraction that are (taken) branches. */
+    double branchFraction = 0.15;
+
+    /**
+     * P(first use k instructions after the load), k = 1..5; the
+     * remainder of the probability mass is "use at distance > 5",
+     * which never stalls at the latencies studied.
+     */
+    std::array<double, 5> useDistance = {0.30, 0.25, 0.18, 0.10,
+                                         0.05};
+
+    /** Validate probability mass; fatal on user error. */
+    void check() const;
+
+    /// @name Presets matching the paper's four benchmark classes.
+    /// The use-distance tails reflect scheduling for 3-cycle loads:
+    /// most loads have at least one independent instruction after
+    /// them, fewer have two.
+    /// @{
+    static InstrMix barnes();
+    static InstrMix mp3d();
+    static InstrMix cholesky();
+    static InstrMix multiprogramming();
+    /// @}
+
+    /**
+     * Build a mix from measured reference counts (an engine run's
+     * ThreadStats), keeping @p base's branch fraction and
+     * use-distance schedule. Lets Table-5 factors be derived from
+     * the actual simulated instruction stream instead of the
+     * published presets.
+     */
+    static InstrMix fromCounts(const std::string &name,
+                               std::uint64_t loads,
+                               std::uint64_t stores,
+                               std::uint64_t instructions,
+                               const InstrMix &base);
+};
+
+} // namespace scmp
+
+#endif // SCMP_CPU_INSTR_MIX_HH

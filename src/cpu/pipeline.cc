@@ -1,0 +1,94 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace scmp
+{
+
+PipelineResult
+Pipeline::run(const InstrMix &mix, std::uint64_t instructions,
+              std::uint64_t seed) const
+{
+    mix.check();
+    fatal_if(_params.loadLatency < 1, "load latency must be >= 1");
+
+    Rng rng(seed);
+    PipelineResult result;
+    result.instructions = instructions;
+
+    // Issue cycle of the next instruction; loads schedule a "value
+    // ready" time for the instruction at (current + distance).
+    Cycle cycle = 0;
+
+    // pendingReady[i % window] = earliest issue cycle of the i-th
+    // upcoming instruction due to an in-flight load feeding it.
+    constexpr int window = 8;
+    Cycle pendingReady[window] = {};
+
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        int slot = (int)(i % window);
+        // Load-use interlock: wait until the feeding load's value
+        // arrives.
+        if (pendingReady[slot] > cycle) {
+            result.loadStallCycles += pendingReady[slot] - cycle;
+            cycle = pendingReady[slot];
+        }
+        pendingReady[slot] = 0;
+
+        double dice = rng.uniform();
+        if (dice < mix.loadFraction) {
+            // Choose the first-use distance and mark the consumer.
+            double d = rng.uniform();
+            double acc = 0;
+            int dist = (int)mix.useDistance.size() + 1;
+            for (std::size_t k = 0; k < mix.useDistance.size();
+                 ++k) {
+                acc += mix.useDistance[k];
+                if (d < acc) {
+                    dist = (int)k + 1;
+                    break;
+                }
+            }
+            if (dist <= window - 1) {
+                Cycle ready = cycle + (Cycle)_params.loadLatency;
+                int consumer = (int)((i + (std::uint64_t)dist) %
+                                     window);
+                pendingReady[consumer] =
+                    std::max(pendingReady[consumer], ready);
+            }
+        } else if (dice < mix.loadFraction + mix.storeFraction) {
+            // Stores retire through the write buffer; no stall.
+        } else if (dice < mix.loadFraction + mix.storeFraction +
+                              mix.branchFraction) {
+            if (rng.uniform() < _params.branchMissFraction) {
+                result.branchStallCycles +=
+                    (std::uint64_t)_params.branchBubble;
+                cycle += (Cycle)_params.branchBubble;
+            }
+        }
+        cycle += 1;
+    }
+    result.cycles = cycle;
+    return result;
+}
+
+double
+Pipeline::relativeTime(const InstrMix &mix, int loadLatency,
+                       std::uint64_t instructions,
+                       std::uint64_t seed)
+{
+    PipelineParams base;
+    base.loadLatency = 2;
+    PipelineParams varied = base;
+    varied.loadLatency = loadLatency;
+    Cycle baseCycles =
+        Pipeline(base).run(mix, instructions, seed).cycles;
+    Cycle variedCycles =
+        Pipeline(varied).run(mix, instructions, seed).cycles;
+    return (double)variedCycles / (double)baseCycles;
+}
+
+} // namespace scmp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Five-stage in-order pipeline timing model.
+ *
+ * IF / DE / EX / ME / WB, single issue, full bypassing, perfect
+ * memory. The only stalls are load-use interlocks: a load's value
+ * becomes available loadLatency cycles after issue, so a consumer
+ * issuing at distance d < loadLatency - 1 stalls the difference.
+ * Extra pipeline stages for SCC arbitration (load latency 3) or an
+ * MCM chip crossing (load latency 4) show up purely as a larger
+ * loadLatency — exactly the comparison in the paper's Table 5.
+ */
+
+#ifndef SCMP_CPU_PIPELINE_HH
+#define SCMP_CPU_PIPELINE_HH
+
+#include <cstdint>
+
+#include "cpu/instr_mix.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** Pipeline configuration. */
+struct PipelineParams
+{
+    /** Cycles from load issue to value availability (2, 3, 4). */
+    int loadLatency = 2;
+
+    /** Branch misprediction/resolution bubble cycles. */
+    int branchBubble = 1;
+
+    /** Fraction of branches that pay the bubble. */
+    double branchMissFraction = 0.15;
+};
+
+/** Outcome of a pipeline simulation. */
+struct PipelineResult
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t loadStallCycles = 0;
+    std::uint64_t branchStallCycles = 0;
+
+    double
+    cpi() const
+    {
+        return instructions ? (double)cycles / (double)instructions
+                            : 0.0;
+    }
+};
+
+/** The pipeline simulator. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(PipelineParams params) : _params(params) {}
+
+    /**
+     * Execute a synthetic stream of @p instructions drawn from
+     * @p mix with the deterministic seed @p seed.
+     */
+    PipelineResult run(const InstrMix &mix,
+                       std::uint64_t instructions,
+                       std::uint64_t seed = 1) const;
+
+    /**
+     * Relative execution time of @p mix at @p loadLatency compared
+     * to a 2-cycle-load machine (Table 5's normalization).
+     */
+    static double relativeTime(const InstrMix &mix, int loadLatency,
+                               std::uint64_t instructions = 2000000,
+                               std::uint64_t seed = 1);
+
+    const PipelineParams &params() const { return _params; }
+
+  private:
+    PipelineParams _params;
+};
+
+} // namespace scmp
+
+#endif // SCMP_CPU_PIPELINE_HH

@@ -1,0 +1,42 @@
+#include "arena.hh"
+
+#include <cstring>
+
+namespace scmp
+{
+
+Arena::Arena(std::size_t capacityBytes, Addr base)
+    : _capacity(capacityBytes), _base(base)
+{
+    fatal_if(capacityBytes == 0, "arena capacity must be non-zero");
+    // Page-align the host buffer so host-pointer alignment agrees
+    // with simulated-address alignment for any power of two up to
+    // the page size.
+    std::size_t rounded = (capacityBytes + 4095) & ~(std::size_t)4095;
+    _buffer.reset((char *)std::aligned_alloc(4096, rounded));
+    fatal_if(!_buffer, "cannot allocate ", rounded, "B arena");
+    std::memset(_buffer.get(), 0, capacityBytes);
+}
+
+void *
+Arena::allocBytes(std::size_t bytes, std::size_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "arena alignment must be a power of two");
+    std::size_t aligned = (_used + align - 1) & ~(align - 1);
+    fatal_if(aligned + bytes > _capacity,
+             "arena exhausted: need ", bytes, "B at offset ", aligned,
+             ", capacity ", _capacity, "B — raise the arena size");
+    _used = aligned + bytes;
+    return _buffer.get() + aligned;
+}
+
+void
+Arena::alignTo(std::size_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "arena alignment must be a power of two");
+    _used = (_used + align - 1) & ~(align - 1);
+}
+
+} // namespace scmp

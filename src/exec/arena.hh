@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic simulated shared memory.
+ *
+ * Workload data structures live inside one large host buffer; each
+ * host location maps to a stable simulated address (fixed base +
+ * offset), so cache indexing is identical across runs regardless of
+ * where the host allocator puts the buffer. This plays the role of
+ * the ANL G_MALLOC shared heap under Tango-Lite.
+ */
+
+#ifndef SCMP_EXEC_ARENA_HH
+#define SCMP_EXEC_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** A bump allocator over one contiguous simulated address range. */
+class Arena
+{
+  public:
+    /** Default simulated base; comfortably above any null page. */
+    static constexpr Addr defaultBase = 0x100000000ull;
+
+    /**
+     * @param capacityBytes Host buffer size — total simulated heap.
+     * @param base          First simulated address of the heap.
+     */
+    explicit Arena(std::size_t capacityBytes,
+                   Addr base = defaultBase);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Raw allocation; returns host memory inside the arena. */
+    void *allocBytes(std::size_t bytes, std::size_t align = 16);
+
+    /** Typed array allocation with default construction. */
+    template <typename T>
+    T *
+    alloc(std::size_t count = 1)
+    {
+        void *raw = allocBytes(sizeof(T) * count, alignof(T));
+        T *first = static_cast<T *>(raw);
+        for (std::size_t i = 0; i < count; ++i)
+            new (first + i) T();
+        return first;
+    }
+
+    /** True iff the host pointer lies inside this arena. */
+    bool
+    contains(const void *ptr) const
+    {
+        auto p = (const char *)ptr;
+        return p >= _buffer.get() && p < _buffer.get() + _capacity;
+    }
+
+    /** Translate a host pointer into its simulated address. */
+    Addr
+    simAddr(const void *ptr) const
+    {
+        auto p = (const char *)ptr;
+        panic_if(!contains(ptr),
+                 "simAddr on a pointer outside the arena");
+        return _base + (Addr)(p - _buffer.get());
+    }
+
+    /** Translate a simulated address back to host memory. */
+    void *
+    hostAddr(Addr addr) const
+    {
+        panic_if(addr < _base || addr >= _base + _capacity,
+                 "hostAddr outside the arena's simulated range");
+        return _buffer.get() + (addr - _base);
+    }
+
+    Addr base() const { return _base; }
+    std::size_t capacity() const { return _capacity; }
+    std::size_t used() const { return _used; }
+
+    /**
+     * Align the next allocation to a fresh cache line/page-like
+     * boundary; used to give each SPEC process a distinct region.
+     */
+    void alignTo(std::size_t align);
+
+  private:
+    struct FreeDeleter
+    {
+        void operator()(char *p) const { std::free(p); }
+    };
+
+    std::unique_ptr<char, FreeDeleter> _buffer;
+    std::size_t _capacity;
+    std::size_t _used = 0;
+    Addr _base;
+};
+
+} // namespace scmp
+
+#endif // SCMP_EXEC_ARENA_HH

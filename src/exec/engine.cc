@@ -1,0 +1,361 @@
+#include "engine.hh"
+
+#include <algorithm>
+
+#include "sim/debug.hh"
+
+namespace scmp
+{
+
+Engine::Engine(MemorySystem *mem, Arena *arena, EngineOptions options)
+    : _mem(mem), _arena(arena), _options(options)
+{
+    panic_if(!mem, "engine needs a memory system");
+    panic_if(!arena, "engine needs an arena");
+}
+
+Engine::~Engine() = default;
+
+ThreadId
+Engine::spawn(CpuId cpu, std::function<void(ThreadCtx &)> fn)
+{
+    panic_if(_running, "spawn while the engine is running");
+    auto thread = std::make_unique<Thread>();
+    Thread *t = thread.get();
+    t->tid = (ThreadId)_threads.size();
+    t->cpu = cpu;
+    t->fn = std::move(fn);
+    t->fiber = std::make_unique<Fiber>(
+        [this, t]() {
+            ThreadCtx ctx(*this, t, t->tid, *_arena);
+            t->fn(ctx);
+        },
+        _options.stackBytes);
+    _threads.push_back(std::move(thread));
+    return t->tid;
+}
+
+Engine::Thread &
+Engine::threadRef(ThreadId tid)
+{
+    panic_if(tid < 0 || tid >= (ThreadId)_threads.size(),
+             "bad thread id ", tid);
+    return *_threads[(std::size_t)tid];
+}
+
+const Engine::Thread &
+Engine::threadRef(ThreadId tid) const
+{
+    panic_if(tid < 0 || tid >= (ThreadId)_threads.size(),
+             "bad thread id ", tid);
+    return *_threads[(std::size_t)tid];
+}
+
+Cycle
+Engine::timeOf(ThreadId tid) const
+{
+    return threadRef(tid).time;
+}
+
+CpuId
+Engine::cpuOf(ThreadId tid) const
+{
+    return threadRef(tid).cpu;
+}
+
+bool
+Engine::done(ThreadId tid) const
+{
+    return threadRef(tid).state == State::Done;
+}
+
+bool
+Engine::blocked(ThreadId tid) const
+{
+    return threadRef(tid).state == State::Blocked;
+}
+
+const ThreadStats &
+Engine::statsOf(ThreadId tid) const
+{
+    return threadRef(tid).stats;
+}
+
+std::uint64_t
+Engine::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : _threads)
+        total += t->stats.instructions;
+    return total;
+}
+
+void
+Engine::blockThread(ThreadId tid)
+{
+    Thread &t = threadRef(tid);
+    panic_if(t.state == State::Done, "blocking a finished thread");
+    t.state = State::Blocked;
+}
+
+void
+Engine::wakeThread(ThreadId tid, Cycle atTime)
+{
+    Thread &t = threadRef(tid);
+    panic_if(t.state == State::Done, "waking a finished thread");
+    t.state = State::Ready;
+    t.time = std::max(t.time, atTime);
+}
+
+void
+Engine::bindCpu(ThreadId tid, CpuId cpu)
+{
+    threadRef(tid).cpu = cpu;
+}
+
+void
+Engine::setTime(ThreadId tid, Cycle time)
+{
+    threadRef(tid).time = time;
+}
+
+void
+Engine::run()
+{
+    panic_if(_running, "engine.run() is not re-entrant");
+    panic_if(_threads.empty(), "engine.run() with no threads");
+    _running = true;
+    if (_policy)
+        _policy->onStart(*this);
+
+    for (;;) {
+        // Pick the runnable thread with the smallest (time, tid).
+        Thread *next = nullptr;
+        bool anyLive = false;
+        for (const auto &t : _threads) {
+            if (t->state == State::Done)
+                continue;
+            anyLive = true;
+            if (t->state != State::Ready)
+                continue;
+            if (!next || t->time < next->time)
+                next = t.get();
+        }
+        if (!next) {
+            panic_if(anyLive,
+                     "deadlock: live threads but none runnable");
+            break;
+        }
+
+        _current = next;
+        next->fiber->resume();
+        _current = nullptr;
+
+        if (next->fiber->finished()) {
+            DPRINTF(Exec, "thread ", next->tid, " finished @",
+                    next->time);
+            next->state = State::Done;
+            flushWork(*next);
+            next->stats.finishTime = next->time;
+            _finishTime = std::max(_finishTime, next->time);
+            if (_policy)
+                _policy->onThreadDone(*this, next->tid);
+        }
+    }
+    _running = false;
+}
+
+void
+Engine::flushWork(Thread &t)
+{
+    if (t.pendingWork) {
+        t.time += t.pendingWork;
+        t.stats.instructions += t.pendingWork;
+        t.pendingWork = 0;
+    }
+}
+
+bool
+Engine::minOtherReadyTime(const Thread &self, Cycle &minTime) const
+{
+    bool found = false;
+    for (const auto &t : _threads) {
+        if (t.get() == &self || t->state != State::Ready)
+            continue;
+        if (!found || t->time < minTime) {
+            minTime = t->time;
+            found = true;
+        }
+    }
+    return found;
+}
+
+void
+Engine::maybeYield(Thread &t)
+{
+    Cycle minOther = 0;
+    if (!minOtherReadyTime(t, minOther))
+        return;
+    if ((CycleDelta)(t.time - minOther) > _options.slackWindow)
+        yieldThread(t);
+}
+
+void
+Engine::yieldThread(Thread &t)
+{
+    panic_if(_current != &t, "yield from a non-current thread");
+    Fiber::yieldToCaller();
+}
+
+void
+Engine::memRef(Thread &t, RefType type, Addr addr)
+{
+    flushWork(t);
+    // The memory instruction itself issues in one cycle.
+    t.time += 1;
+    t.stats.instructions += 1;
+    std::uint32_t gap = 1;
+    if (type == RefType::Read)
+        ++t.stats.loads;
+    else if (type == RefType::Write)
+        ++t.stats.stores;
+    ++_totalRefs;
+
+    Cycle issue = t.time;
+    Cycle done = _mem->access(t.cpu, type, addr, issue, gap);
+    panic_if(done < issue, "memory system completed in the past");
+    t.time = done;
+
+    if (_policy)
+        _policy->afterRef(*this, t.tid);
+
+    // A long stall always reschedules; otherwise only when another
+    // runnable thread has fallen behind the slack window.
+    if (t.state == State::Blocked ||
+        (CycleDelta)(done - issue) > _options.yieldLatency) {
+        yieldThread(t);
+    } else {
+        maybeYield(t);
+    }
+}
+
+void
+Engine::addWork(Thread &t, std::uint64_t instrs)
+{
+    t.pendingWork += instrs;
+}
+
+void
+Engine::acquire(Thread &t, SimLock &lock)
+{
+    // Model the test of the lock word.
+    memRef(t, RefType::Read, lock._addr);
+    if (lock._holder < 0) {
+        lock._holder = t.tid;
+        memRef(t, RefType::Write, lock._addr);
+        return;
+    }
+    // Contended: sleep until the releaser hands the lock over.
+    lock._waiters.push_back(t.tid);
+    t.state = State::Blocked;
+    yieldThread(t);
+    panic_if(lock._holder != t.tid,
+             "woke from lock wait without ownership");
+    memRef(t, RefType::Write, lock._addr);
+}
+
+void
+Engine::release(Thread &t, SimLock &lock)
+{
+    panic_if(lock._holder != t.tid,
+             "thread ", t.tid, " releasing a lock it does not hold");
+    memRef(t, RefType::Write, lock._addr);
+    if (lock._waiters.empty()) {
+        lock._holder = -1;
+        return;
+    }
+    ThreadId heir = lock._waiters.front();
+    lock._waiters.pop_front();
+    lock._holder = heir;
+    wakeThread(heir, t.time);
+}
+
+void
+Engine::barrier(Thread &t, SimBarrier &bar)
+{
+    // Arrival updates the barrier counter (read + write traffic).
+    memRef(t, RefType::Read, bar._addr);
+    memRef(t, RefType::Write, bar._addr);
+    bar._latestArrival = std::max(bar._latestArrival, t.time);
+
+    if (++bar._arrived < bar._expected) {
+        bar._waiters.push_back(t.tid);
+        t.state = State::Blocked;
+        yieldThread(t);
+        return;
+    }
+
+    // Last arrival releases everyone.
+    Cycle releaseTime =
+        bar._latestArrival + _options.barrierOverhead;
+    for (ThreadId waiter : bar._waiters)
+        wakeThread(waiter, releaseTime);
+    bar._waiters.clear();
+    bar._arrived = 0;
+    bar._latestArrival = 0;
+    t.time = std::max(t.time, releaseTime);
+    maybeYield(t);
+}
+
+void
+ThreadCtx::refHost(RefType type, const void *ptr)
+{
+    _engine.memRef(*(Engine::Thread *)_thread, type,
+                   _arena.simAddr(ptr));
+}
+
+void
+ThreadCtx::loadAddr(Addr addr)
+{
+    _engine.memRef(*(Engine::Thread *)_thread, RefType::Read, addr);
+}
+
+void
+ThreadCtx::storeAddr(Addr addr)
+{
+    _engine.memRef(*(Engine::Thread *)_thread, RefType::Write, addr);
+}
+
+void
+ThreadCtx::work(std::uint64_t instrs)
+{
+    _engine.addWork(*(Engine::Thread *)_thread, instrs);
+}
+
+void
+ThreadCtx::lock(SimLock &l)
+{
+    _engine.acquire(*(Engine::Thread *)_thread, l);
+}
+
+void
+ThreadCtx::unlock(SimLock &l)
+{
+    _engine.release(*(Engine::Thread *)_thread, l);
+}
+
+void
+ThreadCtx::barrier(SimBarrier &b)
+{
+    _engine.barrier(*(Engine::Thread *)_thread, b);
+}
+
+void
+ThreadCtx::yield()
+{
+    Engine::Thread &t = *(Engine::Thread *)_thread;
+    _engine.flushWork(t);
+    _engine.yieldThread(t);
+}
+
+} // namespace scmp

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * The Tango-Lite-style direct-execution engine.
+ *
+ * Each simulated processor (or multiprogrammed process) runs real
+ * C++ workload code on a fiber. Every instrumented memory reference
+ * traps into the Engine, which charges instruction issue time, asks
+ * the attached MemorySystem for the reference's completion time, and
+ * re-schedules so that the runnable thread with the smallest local
+ * clock always executes next — the same interleaving discipline
+ * Tango-Lite uses. The whole simulation is single-host-threaded and
+ * bit-deterministic.
+ */
+
+#ifndef SCMP_EXEC_ENGINE_HH
+#define SCMP_EXEC_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/arena.hh"
+#include "exec/fiber.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+class Engine;
+class ThreadCtx;
+
+/**
+ * The timing model the engine drives. Implementations: the full
+ * cluster/SCC machine model (scmp_core) and simple test doubles.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /**
+     * Perform one reference.
+     *
+     * @param cpu      Issuing processor.
+     * @param type     Read / Write / Ifetch.
+     * @param addr     Simulated byte address.
+     * @param now      Issue cycle on that processor.
+     * @param instrGap Instructions issued since the previous
+     *                 reference (for instruction-fetch modelling).
+     * @return the cycle at which the processor may continue.
+     */
+    virtual Cycle access(CpuId cpu, RefType type, Addr addr,
+                         Cycle now, std::uint32_t instrGap) = 0;
+};
+
+/**
+ * Optional scheduling policy layered on the engine; used by the
+ * multiprogramming round-robin scheduler to time-slice processes
+ * over a smaller number of processors.
+ */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /** Called once before the first thread runs. */
+    virtual void onStart(Engine &engine) { (void)engine; }
+
+    /** Called after a thread's clock advances past a reference. */
+    virtual void afterRef(Engine &engine, ThreadId tid)
+    {
+        (void)engine;
+        (void)tid;
+    }
+
+    /** Called when a thread's workload function returns. */
+    virtual void onThreadDone(Engine &engine, ThreadId tid)
+    {
+        (void)engine;
+        (void)tid;
+    }
+};
+
+/** Per-thread execution statistics, readable after run(). */
+struct ThreadStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    Cycle finishTime = 0;
+};
+
+/** A lock with ANL LOCK/UNLOCK semantics and simulated traffic. */
+class SimLock
+{
+  public:
+    /** Allocate the lock word inside @p arena for a stable address. */
+    explicit SimLock(Arena &arena)
+        : _addr(arena.simAddr(arena.alloc<std::uint64_t>()))
+    {
+    }
+
+  private:
+    friend class Engine;
+    Addr _addr;
+    ThreadId _holder = -1;
+    std::deque<ThreadId> _waiters;
+};
+
+/** A reusable ANL BARRIER with simulated counter traffic. */
+class SimBarrier
+{
+  public:
+    SimBarrier(Arena &arena, int expected)
+        : _addr(arena.simAddr(arena.alloc<std::uint64_t>())),
+          _expected(expected)
+    {
+        panic_if(expected <= 0, "barrier needs a positive count");
+    }
+
+  private:
+    friend class Engine;
+    Addr _addr;
+    int _expected;
+    int _arrived = 0;
+    Cycle _latestArrival = 0;
+    std::vector<ThreadId> _waiters;
+};
+
+/** Engine tuning knobs. */
+struct EngineOptions
+{
+    /**
+     * How many cycles a thread may run ahead of the slowest
+     * runnable thread before yielding. 0 reproduces exact
+     * per-reference timestamp interleaving.
+     */
+    CycleDelta slackWindow = 0;
+
+    /** Stall beyond this many cycles always forces a yield. */
+    CycleDelta yieldLatency = 4;
+
+    /** Fiber stack size (deep octree recursion needs room). */
+    std::size_t stackBytes = 512 * 1024;
+
+    /** Cycles charged for a barrier release broadcast. */
+    Cycle barrierOverhead = 16;
+
+    /** Cycles charged for a context switch (multiprogramming). */
+    Cycle contextSwitchCost = 1000;
+};
+
+/**
+ * The execution engine. Owns the fibers and the simulated clock of
+ * every thread; drives the MemorySystem.
+ */
+class Engine
+{
+  public:
+    Engine(MemorySystem *mem, Arena *arena,
+           EngineOptions options = {});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Create a simulated thread.
+     *
+     * @param cpu Processor the thread starts bound to.
+     * @param fn  Workload body; receives a ThreadCtx.
+     * @return the new thread's id (dense, starting at 0).
+     */
+    ThreadId spawn(CpuId cpu, std::function<void(ThreadCtx &)> fn);
+
+    /** Attach a scheduling policy (may be null). */
+    void setPolicy(SchedulerPolicy *policy) { _policy = policy; }
+
+    /** Run until every spawned thread has finished. */
+    void run();
+
+    /// @name Introspection (valid during and after run()).
+    /// @{
+    int numThreads() const { return (int)_threads.size(); }
+    Cycle timeOf(ThreadId tid) const;
+    CpuId cpuOf(ThreadId tid) const;
+    bool done(ThreadId tid) const;
+    bool blocked(ThreadId tid) const;
+    const ThreadStats &statsOf(ThreadId tid) const;
+    /** Completion time of the whole run (max thread finish time). */
+    Cycle finishTime() const { return _finishTime; }
+    std::uint64_t totalRefs() const { return _totalRefs; }
+    std::uint64_t totalInstructions() const;
+    const EngineOptions &options() const { return _options; }
+    Arena &arena() { return *_arena; }
+    /// @}
+
+    /// @name Policy/scheduler hooks (not for workload code).
+    /// @{
+    void blockThread(ThreadId tid);
+    void wakeThread(ThreadId tid, Cycle atTime);
+    void bindCpu(ThreadId tid, CpuId cpu);
+    void setTime(ThreadId tid, Cycle time);
+    /// @}
+
+  private:
+    friend class ThreadCtx;
+
+    enum class State { Ready, Blocked, Done };
+
+    struct Thread
+    {
+        ThreadId tid;
+        CpuId cpu;
+        Cycle time = 0;
+        State state = State::Ready;
+        std::uint64_t pendingWork = 0;
+        ThreadStats stats;
+        std::function<void(ThreadCtx &)> fn;
+        std::unique_ptr<Fiber> fiber;
+    };
+
+    /// @name Called from inside fibers via ThreadCtx.
+    /// @{
+    void memRef(Thread &t, RefType type, Addr addr);
+    void addWork(Thread &t, std::uint64_t instrs);
+    void acquire(Thread &t, SimLock &lock);
+    void release(Thread &t, SimLock &lock);
+    void barrier(Thread &t, SimBarrier &bar);
+    void yieldThread(Thread &t);
+    /// @}
+
+    /** Charge accumulated compute instructions to the clock. */
+    void flushWork(Thread &t);
+
+    /** Yield if another runnable thread is too far behind. */
+    void maybeYield(Thread &t);
+
+    /** Smallest clock among Ready threads other than @p self. */
+    bool minOtherReadyTime(const Thread &self, Cycle &minTime) const;
+
+    Thread &threadRef(ThreadId tid);
+    const Thread &threadRef(ThreadId tid) const;
+
+    MemorySystem *_mem;
+    Arena *_arena;
+    EngineOptions _options;
+    SchedulerPolicy *_policy = nullptr;
+    std::vector<std::unique_ptr<Thread>> _threads;
+    Thread *_current = nullptr;
+    Cycle _finishTime = 0;
+    std::uint64_t _totalRefs = 0;
+    bool _running = false;
+};
+
+/**
+ * The per-thread view handed to workload code. All simulation side
+ * effects of workload execution go through this class.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(Engine &engine, void *thread, ThreadId tid, Arena &arena)
+        : _engine(engine), _thread(thread), _tid(tid), _arena(arena)
+    {
+    }
+
+    /** This thread's id (== starting CpuId for parallel runs). */
+    ThreadId tid() const { return _tid; }
+
+    /** The shared arena (for nested allocations inside phases). */
+    Arena &arena() { return _arena; }
+
+    /** Simulate a data load of the datum at host pointer @p ptr. */
+    void
+    load(const void *ptr)
+    {
+        refHost(RefType::Read, ptr);
+    }
+
+    /** Simulate a data store to the datum at host pointer @p ptr. */
+    void
+    store(void *ptr)
+    {
+        refHost(RefType::Write, ptr);
+    }
+
+    /** Simulate a load of an explicit simulated address. */
+    void loadAddr(Addr addr);
+
+    /** Simulate a store to an explicit simulated address. */
+    void storeAddr(Addr addr);
+
+    /** Charge @p instrs non-memory instructions of compute. */
+    void work(std::uint64_t instrs);
+
+    /** ANL LOCK. */
+    void lock(SimLock &l);
+    /** ANL UNLOCK. */
+    void unlock(SimLock &l);
+    /** ANL BARRIER. */
+    void barrier(SimBarrier &b);
+
+    /** Voluntarily yield to the scheduler (rarely needed). */
+    void yield();
+
+  private:
+    void refHost(RefType type, const void *ptr);
+
+    Engine &_engine;
+    void *_thread;
+    ThreadId _tid;
+    Arena &_arena;
+};
+
+/**
+ * A shared scalar whose every access is simulated. Keeps the same
+ * size/alignment as T so arrays of Shared<T> index like arrays of T
+ * in the cache.
+ */
+template <typename T>
+class Shared
+{
+  public:
+    Shared() = default;
+
+    /** Simulated load. */
+    T
+    ld(ThreadCtx &ctx) const
+    {
+        ctx.load(&_value);
+        return _value;
+    }
+
+    /** Simulated store. */
+    void
+    st(ThreadCtx &ctx, const T &v)
+    {
+        _value = v;
+        ctx.store(&_value);
+    }
+
+    /** Read-modify-write convenience (two references). */
+    template <typename Fn>
+    T
+    rmw(ThreadCtx &ctx, Fn fn)
+    {
+        T v = ld(ctx);
+        v = fn(v);
+        st(ctx, v);
+        return v;
+    }
+
+    /** Host-side access for setup/verification (not simulated). */
+    T &raw() { return _value; }
+    const T &raw() const { return _value; }
+
+  private:
+    T _value{};
+};
+
+/**
+ * A lock-protected monotone task counter — the ANL GSS/GETSUB
+ * self-scheduling idiom used by the SPLASH codes.
+ */
+class TaskCounter
+{
+  public:
+    TaskCounter(Arena &arena, std::int64_t limit)
+        : _lock(arena), _next(arena.alloc<Shared<std::int64_t>>()),
+          _limit(limit)
+    {
+    }
+
+    /**
+     * Claim the next task index.
+     * @return the claimed index, or -1 when exhausted.
+     */
+    std::int64_t
+    next(ThreadCtx &ctx)
+    {
+        return nextChunk(ctx, 1);
+    }
+
+    /**
+     * Claim a chunk of @p chunk consecutive task indices.
+     * @return the first claimed index, or -1 when exhausted. The
+     *         caller owns [first, min(first + chunk, limit)).
+     */
+    std::int64_t
+    nextChunk(ThreadCtx &ctx, std::int64_t chunk)
+    {
+        ctx.lock(_lock);
+        std::int64_t v = _next->ld(ctx);
+        if (v < _limit)
+            _next->st(ctx, v + chunk);
+        ctx.unlock(_lock);
+        return v < _limit ? v : -1;
+    }
+
+    /** Upper bound for indices claimed via next()/nextChunk(). */
+    std::int64_t limit() const { return _limit; }
+
+    /** Reset for the next phase (call from one thread only). */
+    void
+    reset(ThreadCtx &ctx, std::int64_t limit)
+    {
+        _next->st(ctx, 0);
+        _limit = limit;
+    }
+
+  private:
+    SimLock _lock;
+    Shared<std::int64_t> *_next;
+    std::int64_t _limit;
+};
+
+} // namespace scmp
+
+#endif // SCMP_EXEC_ENGINE_HH

@@ -1,0 +1,107 @@
+#include "bus.hh"
+
+#include <algorithm>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+SnoopyBus::SnoopyBus(stats::Group *parent, const BusParams &params)
+    : _params(params),
+      statsGroup(parent, "bus"),
+      transactions(&statsGroup, "transactions",
+                   "total bus transactions"),
+      reads(&statsGroup, "reads", "BusRd transactions"),
+      readExcls(&statsGroup, "readExcls", "BusRdX transactions"),
+      upgrades(&statsGroup, "upgrades", "BusUpgr transactions"),
+      updates(&statsGroup, "updates",
+              "write-update broadcast transactions"),
+      writeBacks(&statsGroup, "writeBacks", "writeback transactions"),
+      invalidations(&statsGroup, "invalidations",
+                    "line invalidations performed in remote SCCs"),
+      interventions(&statsGroup, "interventions",
+                    "dirty lines supplied by a remote SCC"),
+      waitCycles(&statsGroup, "waitCycles",
+                 "cycles requests waited for bus arbitration")
+{
+}
+
+void
+SnoopyBus::attach(Snooper *snooper)
+{
+    _snoopers.push_back(snooper);
+}
+
+Cycle
+SnoopyBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
+                       Cycle now, bool *remoteCopyOut)
+{
+    ++transactions;
+    switch (op) {
+      case BusOp::Read: ++reads; break;
+      case BusOp::ReadExcl: ++readExcls; break;
+      case BusOp::Upgrade: ++upgrades; break;
+      case BusOp::Update: ++updates; break;
+      case BusOp::WriteBack: ++writeBacks; break;
+    }
+
+    Cycle grant = std::max(now, _nextFree);
+    waitCycles += (double)(grant - now);
+    DPRINTF(Bus, busOpName(op), " from ", source, " line 0x",
+            std::hex, lineAddr, std::dec, " granted @", grant);
+
+    // Upgrades carry no data; updates carry one word, which we
+    // charge at the address-phase cost as split-transaction buses
+    // of the era did for single-word updates.
+    Cycle occupancy =
+        (op == BusOp::Upgrade || op == BusOp::Update)
+            ? _params.addressOccupancy
+            : _params.transferOccupancy;
+
+    // Broadcast to every other client at the grant cycle.
+    bool dirtySupplied = false;
+    bool remoteCopy = false;
+    for (Snooper *snooper : _snoopers) {
+        if (snooper->snooperId() == source)
+            continue;
+        SnoopResult result = snooper->snoop(op, lineAddr, grant);
+        if (result.invalidated)
+            ++invalidations;
+        if (result.suppliedDirty)
+            dirtySupplied = true;
+        if (result.hadCopy)
+            remoteCopy = true;
+    }
+    if (remoteCopyOut)
+        *remoteCopyOut = remoteCopy;
+    if (dirtySupplied) {
+        ++interventions;
+        // The intervening SCC's flush adds a transfer slot.
+        occupancy += _params.transferOccupancy;
+    }
+
+    _nextFree = grant + occupancy;
+    _busyCycles += occupancy;
+
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadExcl:
+        // Fixed line-fetch latency from grant, per the paper.
+        return grant + _params.memoryLatency;
+      case BusOp::Upgrade:
+      case BusOp::Update:
+      case BusOp::WriteBack:
+        return grant;
+    }
+    panic("unreachable bus op");
+}
+
+double
+SnoopyBus::utilization(Cycle now) const
+{
+    return now ? (double)_busyCycles / (double)now : 0.0;
+}
+
+} // namespace scmp

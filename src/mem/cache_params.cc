@@ -1,0 +1,30 @@
+#include "cache_params.hh"
+
+namespace scmp
+{
+
+const char *
+coherenceStateName(CoherenceState state)
+{
+    switch (state) {
+      case CoherenceState::Invalid: return "I";
+      case CoherenceState::Shared: return "S";
+      case CoherenceState::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read: return "Read";
+      case BusOp::ReadExcl: return "ReadExcl";
+      case BusOp::Upgrade: return "Upgrade";
+      case BusOp::Update: return "Update";
+      case BusOp::WriteBack: return "WriteBack";
+    }
+    return "?";
+}
+
+} // namespace scmp

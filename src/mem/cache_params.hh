@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parameter bundles for the cluster memory system.
+ *
+ * Defaults reproduce the paper's simulation model: 16-byte lines,
+ * direct-mapped SCCs with four banks per processor, a fixed
+ * 100-cycle line-fetch latency over the snoopy bus, and per-cluster
+ * 16 KB instruction caches.
+ */
+
+#ifndef SCMP_MEM_CACHE_PARAMS_HH
+#define SCMP_MEM_CACHE_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/**
+ * Inter-cluster coherence protocol.
+ *
+ * WriteInvalidate is the paper's scheme (a write kills remote
+ * copies; re-readers miss). WriteUpdate is the era's alternative
+ * (Firefly/Dragon flavour): writes to shared lines broadcast the
+ * new data, remote copies stay valid, and the writer's line stays
+ * Shared — trading invalidation misses for bus update traffic.
+ */
+enum class CoherenceProtocol : std::uint8_t
+{
+    WriteInvalidate,
+    WriteUpdate,
+};
+
+/** Shared Cluster Cache geometry and timing. */
+struct SccParams
+{
+    /** Total data capacity in bytes (paper sweeps 4 KB .. 512 KB). */
+    std::uint64_t sizeBytes = 64 * 1024;
+
+    /** Line size; 16 B in the paper to curb false sharing. */
+    std::uint32_t lineBytes = 16;
+
+    /** Associativity; the paper's caches are direct-mapped. */
+    std::uint32_t assoc = 1;
+
+    /** Banks per processor in the cluster (paper: four). */
+    std::uint32_t banksPerCpu = 4;
+
+    /** Cycles a bank is busy per access. */
+    Cycle bankOccupancy = 1;
+
+    /** Whether a write hit on a Shared line stalls the writer. */
+    bool stallOnUpgrade = false;
+
+    /** Inter-cluster coherence protocol. */
+    CoherenceProtocol protocol =
+        CoherenceProtocol::WriteInvalidate;
+};
+
+/**
+ * Snoopy inter-cluster bus timing.
+ *
+ * The paper's simulator uses a FIXED 100-cycle line-fetch latency
+ * and models contention only at the SCC banks, so the faithful
+ * default is a fully-pipelined bus (near-zero occupancy). The
+ * occupancy knobs enable the bus-contention ablation study
+ * (bench/ablation_bus), which shows how a real 1990s bus would
+ * cap the 32-processor configurations.
+ */
+struct BusParams
+{
+    /** Fixed line-fetch latency from memory or a remote SCC. */
+    Cycle memoryLatency = 100;
+
+    /** Bus cycles consumed by a line transfer transaction. */
+    Cycle transferOccupancy = 1;
+
+    /** Bus cycles consumed by an address-only transaction. */
+    Cycle addressOccupancy = 1;
+};
+
+/** Per-processor instruction cache. */
+struct ICacheParams
+{
+    /** Whether instruction fetch is simulated at all. */
+    bool enabled = false;
+
+    /** Capacity (paper: 16 KB per processor). */
+    std::uint64_t sizeBytes = 16 * 1024;
+
+    /** Line size for instruction fetches. */
+    std::uint32_t lineBytes = 32;
+
+    /** Bytes per instruction for the synthetic PC walk. */
+    std::uint32_t bytesPerInstr = 4;
+};
+
+/** Stable MSI coherence states for SCC lines. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** Human-readable state name (debug/trace output). */
+const char *coherenceStateName(CoherenceState state);
+
+/** Bus transaction kinds for the snoopy protocol. */
+enum class BusOp : std::uint8_t
+{
+    Read,       //!< read miss — fetch a shared copy
+    ReadExcl,   //!< write miss — fetch an exclusive copy
+    Upgrade,    //!< write hit on Shared — invalidate other copies
+    Update,     //!< write-update broadcast of new data
+    WriteBack,  //!< evicted Modified line returns to memory
+};
+
+/** Human-readable bus op name. */
+const char *busOpName(BusOp op);
+
+} // namespace scmp
+
+#endif // SCMP_MEM_CACHE_PARAMS_HH

@@ -1,0 +1,274 @@
+#include "scc.hh"
+
+#include <algorithm>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+SharedClusterCache::SharedClusterCache(stats::Group *parent,
+                                       ClusterId cluster, int numCpus,
+                                       const SccParams &params,
+                                       SnoopyBus *bus)
+    : _cluster(cluster), _params(params), _bus(bus),
+      _tags(params.sizeBytes, params.lineBytes, params.assoc),
+      _bankNextFree((std::size_t)numCpus * params.banksPerCpu, 0),
+      statsGroup(parent, "scc"),
+      readHits(&statsGroup, "readHits", "read hits"),
+      readMisses(&statsGroup, "readMisses", "read misses"),
+      writeHits(&statsGroup, "writeHits", "write hits"),
+      writeMisses(&statsGroup, "writeMisses", "write misses"),
+      upgradeHits(&statsGroup, "upgradeHits",
+                  "write hits that issued BusUpgr"),
+      mergedMisses(&statsGroup, "mergedMisses",
+                   "misses merged into an outstanding MSHR"),
+      writeBacks(&statsGroup, "writeBacks",
+                 "dirty lines written back on eviction"),
+      invalidationsReceived(&statsGroup, "invalidationsReceived",
+                            "lines invalidated by remote writes"),
+      updatesReceived(&statsGroup, "updatesReceived",
+                      "write-update broadcasts absorbed"),
+      updatesBroadcast(&statsGroup, "updatesBroadcast",
+                       "write-update broadcasts sent"),
+      interventionsSupplied(&statsGroup, "interventionsSupplied",
+                            "dirty lines supplied to remote reads"),
+      bankConflictCycles(&statsGroup, "bankConflictCycles",
+                         "cycles lost to bank arbitration"),
+      missStallCycles(&statsGroup, "missStallCycles",
+                      "cycles processors stalled on misses")
+{
+    panic_if(numCpus <= 0, "SCC needs at least one processor");
+    panic_if(!bus, "SCC needs a bus");
+}
+
+BankId
+SharedClusterCache::bankOf(Addr addr) const
+{
+    // Consecutive lines live in consecutive banks.
+    return (BankId)((addr / _params.lineBytes) %
+                    _bankNextFree.size());
+}
+
+CoherenceState
+SharedClusterCache::stateOf(Addr addr) const
+{
+    const CacheLine *line = _tags.probe(addr);
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+double
+SharedClusterCache::readMissRate() const
+{
+    double reads = readHits.value() + readMisses.value();
+    return reads > 0 ? readMisses.value() / reads : 0.0;
+}
+
+double
+SharedClusterCache::missRate() const
+{
+    double hits = readHits.value() + writeHits.value();
+    double misses = readMisses.value() + writeMisses.value();
+    double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+Cycle
+SharedClusterCache::access(int localCpu, RefType type, Addr addr,
+                           Cycle now)
+{
+    (void)localCpu;
+    panic_if(type == RefType::Ifetch,
+             "instruction fetches do not reach the SCC");
+
+    // Bank arbitration: wait for the serving bank to free up.
+    Cycle &bankFree = _bankNextFree[(std::size_t)bankOf(addr)];
+    Cycle start = std::max(now, bankFree);
+    bankConflictCycles += (double)(start - now);
+    bankFree = start + _params.bankOccupancy;
+
+    Addr lineAddr = _tags.lineAddr(addr);
+
+    // Merge with an outstanding fill for this line, if any.
+    auto mshr = _mshrs.find(lineAddr);
+    if (mshr != _mshrs.end()) {
+        if (start < mshr->second) {
+            ++mergedMisses;
+            Cycle ready = mshr->second;
+            missStallCycles += (double)(ready - start);
+            // A write joining a read fill still needs to inform
+            // the other caches (exclusivity or an update).
+            CacheLine *line = _tags.probe(lineAddr);
+            if (type == RefType::Write && line &&
+                line->state == CoherenceState::Shared) {
+                if (_params.protocol ==
+                    CoherenceProtocol::WriteUpdate) {
+                    ++updatesBroadcast;
+                    bool remoteCopy = false;
+                    _bus->transaction(_cluster, BusOp::Update,
+                                      lineAddr, ready,
+                                      &remoteCopy);
+                    if (!remoteCopy)
+                        line->state = CoherenceState::Modified;
+                } else {
+                    _bus->transaction(_cluster, BusOp::Upgrade,
+                                      lineAddr, ready);
+                    line->state = CoherenceState::Modified;
+                }
+            }
+            return ready;
+        }
+        _mshrs.erase(mshr);
+    }
+
+    CacheLine *line = _tags.lookup(addr);
+
+    if (line) {
+        if (type == RefType::Read) {
+            ++readHits;
+            return start;
+        }
+        // Write hit.
+        if (line->state == CoherenceState::Modified) {
+            ++writeHits;
+            return start;
+        }
+        ++writeHits;
+        if (_params.protocol == CoherenceProtocol::WriteUpdate) {
+            // Broadcast the new data; remote copies stay valid.
+            // If nobody else holds the line, promote to Modified
+            // (the Firefly last-copy optimization) so future
+            // writes stay off the bus.
+            ++updatesBroadcast;
+            bool remoteCopy = false;
+            Cycle grant = _bus->transaction(
+                _cluster, BusOp::Update, lineAddr, start,
+                &remoteCopy);
+            if (!remoteCopy)
+                line->state = CoherenceState::Modified;
+            if (_params.stallOnUpgrade) {
+                missStallCycles += (double)(grant - start);
+                return grant;
+            }
+            return start;
+        }
+        // Shared → Modified: invalidate remote copies.
+        ++upgradeHits;
+        Cycle grant = _bus->transaction(_cluster, BusOp::Upgrade,
+                                        lineAddr, start);
+        line->state = CoherenceState::Modified;
+        if (_params.stallOnUpgrade) {
+            missStallCycles += (double)(grant - start);
+            return grant;
+        }
+        return start;
+    }
+
+    // Miss.
+    if (type == RefType::Read)
+        ++readMisses;
+    else
+        ++writeMisses;
+    DPRINTF(Cache, "scc", _cluster, " ", refTypeName(type),
+            " miss line 0x", std::hex, lineAddr, std::dec, " @",
+            start);
+    Cycle ready = handleMiss(type, lineAddr, start);
+    missStallCycles += (double)(ready - start);
+    return ready;
+}
+
+Cycle
+SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
+                               Cycle now)
+{
+    // Evict the victim; write back dirty data (buffered, so the
+    // requester does not wait on it beyond bus occupancy).
+    CacheLine *victim = _tags.victim(lineAddr);
+    if (victim->valid()) {
+        _mshrs.erase(victim->tag);
+        if (victim->state == CoherenceState::Modified) {
+            ++writeBacks;
+            _bus->transaction(_cluster, BusOp::WriteBack, victim->tag,
+                              now);
+        }
+    }
+
+    bool update =
+        _params.protocol == CoherenceProtocol::WriteUpdate;
+    // Under write-update a write miss fetches a shared copy and
+    // broadcasts the new data; remote copies survive.
+    BusOp op = (type == RefType::Write && !update)
+                   ? BusOp::ReadExcl
+                   : BusOp::Read;
+    bool remoteCopy = false;
+    Cycle ready =
+        _bus->transaction(_cluster, op, lineAddr, now, &remoteCopy);
+
+    CoherenceState fillState;
+    if (type == RefType::Write && !update) {
+        fillState = CoherenceState::Modified;
+    } else if (update && !remoteCopy) {
+        fillState = CoherenceState::Modified;  // exclusive fill
+    } else {
+        fillState = CoherenceState::Shared;
+    }
+    if (type == RefType::Write && update && remoteCopy) {
+        ++updatesBroadcast;
+        _bus->transaction(_cluster, BusOp::Update, lineAddr,
+                          ready);
+    }
+    _tags.fill(victim, lineAddr, fillState);
+    _mshrs[lineAddr] = ready;
+    return ready;
+}
+
+SnoopResult
+SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
+{
+    (void)when;
+    SnoopResult result;
+    CacheLine *line = _tags.probe(lineAddr);
+    if (!line)
+        return result;
+
+    result.hadCopy = true;
+    switch (op) {
+      case BusOp::Read:
+        if (line->state == CoherenceState::Modified) {
+            // Supply the dirty line and keep a shared copy.
+            result.suppliedDirty = true;
+            ++interventionsSupplied;
+            line->state = CoherenceState::Shared;
+        }
+        break;
+      case BusOp::ReadExcl:
+      case BusOp::Upgrade:
+        if (line->state == CoherenceState::Modified) {
+            result.suppliedDirty = true;
+            ++interventionsSupplied;
+        }
+        _tags.invalidate(lineAddr);
+        _mshrs.erase(lineAddr);
+        result.invalidated = true;
+        ++invalidationsReceived;
+        DPRINTF(Coherence, "scc", _cluster,
+                " invalidated line 0x", std::hex, lineAddr,
+                std::dec, " by ", busOpName(op));
+        break;
+      case BusOp::Update:
+        // Absorb the broadcast; the copy stays valid. A Modified
+        // copy cannot coexist with the writer's, but demote
+        // defensively if the protocols were mixed.
+        if (line->state == CoherenceState::Modified)
+            line->state = CoherenceState::Shared;
+        ++updatesReceived;
+        break;
+      case BusOp::WriteBack:
+        // Memory absorbs writebacks; nothing for peers to do.
+        break;
+    }
+    return result;
+}
+
+} // namespace scmp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Shared Cluster Cache (SCC) — the paper's central structure.
+ *
+ * A banked, multi-ported, non-blocking write-back data cache shared
+ * by every processor in a cluster. Banks are interleaved on cache
+ * lines; each processor has a dedicated port, so contention arises
+ * only when two processors touch the same bank in the same cycle.
+ * Outstanding misses are tracked in an MSHR file, so a second
+ * processor referencing an in-flight line merges with the existing
+ * miss instead of issuing a new bus transaction — the mechanism
+ * behind the paper's inter-processor prefetching effect.
+ */
+
+#ifndef SCMP_MEM_SCC_HH
+#define SCMP_MEM_SCC_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/cache_params.hh"
+#include "mem/tag_array.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** One cluster's shared data cache. */
+class SharedClusterCache : public Snooper
+{
+  public:
+    /**
+     * @param parent   Statistics parent group.
+     * @param cluster  This cluster's id (bus snoop identity).
+     * @param numCpus  Processors sharing this cache.
+     * @param params   Geometry/timing.
+     * @param bus      The inter-cluster snoopy bus.
+     */
+    SharedClusterCache(stats::Group *parent, ClusterId cluster,
+                       int numCpus, const SccParams &params,
+                       SnoopyBus *bus);
+
+    /**
+     * Perform a data reference from a processor in this cluster.
+     *
+     * @param localCpu Processor index within the cluster.
+     * @param type     Read or Write.
+     * @param addr     Simulated byte address.
+     * @param now      Issue cycle.
+     * @return cycle at which the processor may continue.
+     */
+    Cycle access(int localCpu, RefType type, Addr addr, Cycle now);
+
+    /// @name Snooper interface (called by the bus).
+    /// @{
+    SnoopResult snoop(BusOp op, Addr lineAddr, Cycle when) override;
+    ClusterId snooperId() const override { return _cluster; }
+    /// @}
+
+    /** Coherence state of the line containing @p addr (tests). */
+    CoherenceState stateOf(Addr addr) const;
+
+    /** Bank index serving @p addr (tests: line interleaving). */
+    BankId bankOf(Addr addr) const;
+
+    int numBanks() const { return (int)_bankNextFree.size(); }
+    const SccParams &params() const { return _params; }
+    const TagArray &tags() const { return _tags; }
+
+    /** Read miss rate so far (read misses / reads). */
+    double readMissRate() const;
+
+    /** Overall miss rate (all misses / all accesses). */
+    double missRate() const;
+
+  private:
+    /** Handle a miss; returns data-ready cycle. */
+    Cycle handleMiss(RefType type, Addr lineAddr, Cycle now);
+
+    ClusterId _cluster;
+    SccParams _params;
+    SnoopyBus *_bus;
+    TagArray _tags;
+    std::vector<Cycle> _bankNextFree;
+
+    /** In-flight fills: line address → completion cycle. */
+    std::unordered_map<Addr, Cycle> _mshrs;
+
+    stats::Group statsGroup;
+
+  public:
+    /// @name Statistics
+    /// @{
+    stats::Scalar readHits;
+    stats::Scalar readMisses;
+    stats::Scalar writeHits;
+    stats::Scalar writeMisses;
+    stats::Scalar upgradeHits;    //!< write hits needing BusUpgr
+    stats::Scalar mergedMisses;   //!< misses merged into an MSHR
+    stats::Scalar writeBacks;
+    stats::Scalar invalidationsReceived;
+    stats::Scalar updatesReceived;
+    stats::Scalar updatesBroadcast;
+    stats::Scalar interventionsSupplied;
+    stats::Scalar bankConflictCycles;
+    stats::Scalar missStallCycles;
+    /// @}
+};
+
+} // namespace scmp
+
+#endif // SCMP_MEM_SCC_HH

@@ -1,0 +1,94 @@
+#include "tag_array.hh"
+
+namespace scmp
+{
+
+TagArray::TagArray(std::uint64_t sizeBytes, std::uint32_t lineBytes,
+                   std::uint32_t assoc)
+    : _sizeBytes(sizeBytes), _lineBytes(lineBytes), _assoc(assoc)
+{
+    fatal_if(!isPowerOf2(sizeBytes), "cache size must be 2^n bytes");
+    fatal_if(!isPowerOf2(lineBytes), "line size must be 2^n bytes");
+    fatal_if(assoc == 0, "associativity must be at least 1");
+    fatal_if(sizeBytes % ((std::uint64_t)lineBytes * assoc) != 0,
+             "cache size not divisible by way size");
+    _lineShift = floorLog2(lineBytes);
+    _numSets = sizeBytes / lineBytes / assoc;
+    fatal_if(!isPowerOf2(_numSets), "set count must be a power of 2");
+    _lines.resize(_numSets * assoc);
+}
+
+CacheLine *
+TagArray::lookup(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    if (line)
+        line->lruStamp = ++_stampCounter;
+    return line;
+}
+
+CacheLine *
+TagArray::probe(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    CacheLine *set = &_lines[setIndex(addr) * _assoc];
+    for (std::uint32_t way = 0; way < _assoc; ++way) {
+        if (set[way].valid() && set[way].tag == tag)
+            return &set[way];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+TagArray::probe(Addr addr) const
+{
+    return const_cast<TagArray *>(this)->probe(addr);
+}
+
+CacheLine *
+TagArray::victim(Addr addr)
+{
+    CacheLine *set = &_lines[setIndex(addr) * _assoc];
+    CacheLine *best = &set[0];
+    for (std::uint32_t way = 0; way < _assoc; ++way) {
+        if (!set[way].valid())
+            return &set[way];
+        if (set[way].lruStamp < best->lruStamp)
+            best = &set[way];
+    }
+    return best;
+}
+
+void
+TagArray::fill(CacheLine *line, Addr addr, CoherenceState state)
+{
+    panic_if(state == CoherenceState::Invalid,
+             "filling a line with Invalid state");
+    line->tag = lineAddr(addr);
+    line->state = state;
+    line->lruStamp = ++_stampCounter;
+}
+
+bool
+TagArray::invalidate(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    if (!line)
+        return false;
+    line->state = CoherenceState::Invalid;
+    line->tag = invalidAddr;
+    return true;
+}
+
+std::uint64_t
+TagArray::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const auto &line : _lines) {
+        if (line.valid())
+            ++count;
+    }
+    return count;
+}
+
+} // namespace scmp

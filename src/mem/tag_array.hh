@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A set-associative tag/state array with LRU replacement.
+ *
+ * Holds no data payload — workload data lives host-side in the
+ * arena; the simulator tracks only tags and coherence state, which
+ * is all the paper's timing model needs.
+ */
+
+#ifndef SCMP_MEM_TAG_ARRAY_HH
+#define SCMP_MEM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_params.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    Addr tag = invalidAddr;
+    CoherenceState state = CoherenceState::Invalid;
+    std::uint64_t lruStamp = 0;
+
+    bool valid() const { return state != CoherenceState::Invalid; }
+};
+
+/** Tag store for one cache (SCC or instruction cache). */
+class TagArray
+{
+  public:
+    /**
+     * @param sizeBytes Total capacity; must be a power of two.
+     * @param lineBytes Line size; must be a power of two.
+     * @param assoc     Ways per set; must divide the set count out.
+     */
+    TagArray(std::uint64_t sizeBytes, std::uint32_t lineBytes,
+             std::uint32_t assoc);
+
+    /** Line-aligned address of @p addr. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~(Addr)(_lineBytes - 1);
+    }
+
+    /** Set index for an address. */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> _lineShift) & (_numSets - 1);
+    }
+
+    /**
+     * Look up a line.
+     * @return pointer to the line, or nullptr on miss. Updates LRU
+     *         on hit.
+     */
+    CacheLine *lookup(Addr addr);
+
+    /** Look up without touching LRU state (snoops, tests). */
+    CacheLine *probe(Addr addr);
+    const CacheLine *probe(Addr addr) const;
+
+    /**
+     * Choose the victim way in @p addr's set (invalid first, then
+     * LRU). Does not modify the line.
+     */
+    CacheLine *victim(Addr addr);
+
+    /**
+     * Install @p addr over @p line (which must belong to the right
+     * set) with the given state; updates LRU.
+     */
+    void fill(CacheLine *line, Addr addr, CoherenceState state);
+
+    /** Invalidate a line if present. @return true if it was valid. */
+    bool invalidate(Addr addr);
+
+    /** Number of valid lines (tests / occupancy stats). */
+    std::uint64_t validLines() const;
+
+    std::uint64_t numSets() const { return _numSets; }
+    std::uint32_t assoc() const { return _assoc; }
+    std::uint32_t lineBytes() const { return _lineBytes; }
+    std::uint64_t sizeBytes() const { return _sizeBytes; }
+
+    /** Iterate every line (tests, invariant checks). */
+    template <typename Fn>
+    void
+    forEachLine(Fn fn) const
+    {
+        for (const auto &line : _lines)
+            fn(line);
+    }
+
+  private:
+    std::uint64_t _sizeBytes;
+    std::uint32_t _lineBytes;
+    std::uint32_t _assoc;
+    int _lineShift;
+    std::uint64_t _numSets;
+    std::uint64_t _stampCounter = 0;
+    std::vector<CacheLine> _lines;
+};
+
+} // namespace scmp
+
+#endif // SCMP_MEM_TAG_ARRAY_HH

@@ -1,0 +1,171 @@
+#include "config.hh"
+
+#include <cstdlib>
+
+#include "debug.hh"
+#include "logging.hh"
+
+namespace scmp
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _entries[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    _entries[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    _entries[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    _entries[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _entries.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return def;
+    _read.insert(key);
+    return it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return def;
+    _read.insert(key);
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(!end || *end != '\0', "config key '", key,
+             "': cannot parse integer from '", it->second, "'");
+    return v;
+}
+
+std::uint64_t
+Config::getSize(const std::string &key, std::uint64_t def) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return def;
+    _read.insert(key);
+    bool ok = false;
+    std::uint64_t v = parseSize(it->second, &ok);
+    fatal_if(!ok, "config key '", key,
+             "': cannot parse size from '", it->second, "'");
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return def;
+    _read.insert(key);
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(!end || *end != '\0', "config key '", key,
+             "': cannot parse double from '", it->second, "'");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return def;
+    _read.insert(key);
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '", key, "': cannot parse bool from '", v, "'");
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, char **argv)
+{
+    // Command-line entry point: honour SCMP_DEBUG trace flags.
+    debug::applyEnvironment();
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            set(body.substr(0, eq), body.substr(eq + 1));
+        } else {
+            set(body, std::string("true"));
+        }
+    }
+    return positional;
+}
+
+std::vector<std::string>
+Config::unreadKeys() const
+{
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : _entries) {
+        if (!_read.count(key))
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+std::uint64_t
+Config::parseSize(const std::string &text, bool *ok)
+{
+    if (ok)
+        *ok = false;
+    if (text.empty())
+        return 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str())
+        return 0;
+    std::string suffix(end);
+    std::uint64_t mult = 1;
+    if (suffix == "" ) {
+        mult = 1;
+    } else if (suffix == "K" || suffix == "k" || suffix == "KB") {
+        mult = 1ull << 10;
+    } else if (suffix == "M" || suffix == "m" || suffix == "MB") {
+        mult = 1ull << 20;
+    } else if (suffix == "G" || suffix == "g" || suffix == "GB") {
+        mult = 1ull << 30;
+    } else {
+        return 0;
+    }
+    if (ok)
+        *ok = true;
+    return v * mult;
+}
+
+} // namespace scmp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A light key/value configuration system.
+ *
+ * Benches and examples parse "--key=value" command-line options into
+ * a Config; library components read typed parameters with defaults.
+ * Unknown keys are detected so typos in sweep scripts fail loudly.
+ */
+
+#ifndef SCMP_SIM_CONFIG_HH
+#define SCMP_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace scmp
+{
+
+/** String-keyed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** @return true if the key was explicitly set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed reads; missing keys return the supplied default, present
+     * keys that fail to parse are a fatal user error.
+     */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t def = 0) const;
+    std::uint64_t getSize(const std::string &key,
+                          std::uint64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /**
+     * Parse argv-style options. Recognized forms:
+     *   --key=value   --flag (boolean true)
+     * Positional arguments are returned untouched.
+     */
+    std::vector<std::string> parseArgs(int argc, char **argv);
+
+    /** All keys that were set but never read (typo detection). */
+    std::vector<std::string> unreadKeys() const;
+
+    /** All (key, value) pairs in sorted order. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return _entries;
+    }
+
+    /**
+     * Parse a size with optional K/M/G suffix, e.g. "32K" → 32768.
+     * Exposed for tests and for table-axis parsing in benches.
+     */
+    static std::uint64_t parseSize(const std::string &text,
+                                   bool *ok = nullptr);
+
+  private:
+    std::map<std::string, std::string> _entries;
+    mutable std::set<std::string> _read;
+};
+
+} // namespace scmp
+
+#endif // SCMP_SIM_CONFIG_HH

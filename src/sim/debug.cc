@@ -1,0 +1,102 @@
+#include "debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace scmp::debug
+{
+
+namespace
+{
+
+std::vector<Flag *> &
+registry()
+{
+    static std::vector<Flag *> flags;
+    return flags;
+}
+
+std::ostream *traceStream = nullptr;
+
+} // namespace
+
+Flag::Flag(const char *name, const char *desc)
+    : _name(name), _desc(desc)
+{
+    registry().push_back(this);
+}
+
+const std::vector<Flag *> &
+allFlags()
+{
+    return registry();
+}
+
+Flag *
+findFlag(const std::string &name)
+{
+    for (Flag *flag : registry()) {
+        if (name == flag->name())
+            return flag;
+    }
+    return nullptr;
+}
+
+void
+enableFlags(const std::string &commaSeparated)
+{
+    std::stringstream stream(commaSeparated);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+        if (name.empty())
+            continue;
+        Flag *flag = findFlag(name);
+        fatal_if(!flag, "unknown debug flag '", name, "'");
+        flag->setEnabled(true);
+    }
+}
+
+void
+clearFlags()
+{
+    for (Flag *flag : registry())
+        flag->setEnabled(false);
+}
+
+void
+applyEnvironment()
+{
+    const char *env = std::getenv("SCMP_DEBUG");
+    if (env && *env)
+        enableFlags(env);
+}
+
+std::ostream &
+stream()
+{
+    return traceStream ? *traceStream : std::cerr;
+}
+
+void
+setStream(std::ostream *os)
+{
+    traceStream = os;
+}
+
+void
+printLine(const Flag &flag, const std::string &message)
+{
+    stream() << flag.name() << ": " << message << "\n";
+}
+
+/// Flag definitions.
+Flag Cache("Cache", "SCC hits, misses and fills");
+Flag Coherence("Coherence", "snoop-driven state changes");
+Flag Bus("Bus", "bus transactions");
+Flag Exec("Exec", "engine scheduling events");
+Flag Sched("Sched", "multiprogramming context switches");
+
+} // namespace scmp::debug

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Named debug-trace flags, gem5 DPRINTF style.
+ *
+ * Modules define a Flag and guard their trace output with
+ * DPRINTF(FlagName, ...). Flags are off by default and are turned
+ * on by name — programmatically, or from the SCMP_DEBUG
+ * environment variable ("Cache,Bus"). Tracing is for humans
+ * debugging the simulator; statistics, not traces, feed the
+ * experiment harnesses.
+ */
+
+#ifndef SCMP_SIM_DEBUG_HH
+#define SCMP_SIM_DEBUG_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scmp::debug
+{
+
+/** One registerable debug flag. */
+class Flag
+{
+  public:
+    Flag(const char *name, const char *desc);
+
+    const char *name() const { return _name; }
+    const char *desc() const { return _desc; }
+    bool enabled() const { return _enabled; }
+    void
+    setEnabled(bool enabled)
+    {
+        _enabled = enabled;
+    }
+
+  private:
+    const char *_name;
+    const char *_desc;
+    bool _enabled = false;
+};
+
+/** All registered flags (for --help style listings). */
+const std::vector<Flag *> &allFlags();
+
+/** Find a flag by name; nullptr if unknown. */
+Flag *findFlag(const std::string &name);
+
+/**
+ * Enable a comma-separated list of flags; fatal on an unknown
+ * name (a typo would otherwise silently trace nothing).
+ */
+void enableFlags(const std::string &commaSeparated);
+
+/** Disable every flag. */
+void clearFlags();
+
+/** Apply the SCMP_DEBUG environment variable, if set. */
+void applyEnvironment();
+
+/** Destination for trace output (defaults to std::cerr). */
+std::ostream &stream();
+void setStream(std::ostream *os);
+
+/** Internal: emit one formatted trace line. */
+void printLine(const Flag &flag, const std::string &message);
+
+/// @name Flags defined across the simulator.
+/// @{
+extern Flag Cache;    //!< SCC hits/misses/fills
+extern Flag Coherence;//!< snoop-driven state changes
+extern Flag Bus;      //!< bus transactions
+extern Flag Exec;     //!< engine scheduling events
+extern Flag Sched;    //!< multiprogramming context switches
+/// @}
+
+} // namespace scmp::debug
+
+/** Emit a trace line when @p flag is enabled. */
+#define DPRINTF(flag, ...)                                          \
+    do {                                                            \
+        if (::scmp::debug::flag.enabled()) {                        \
+            ::scmp::debug::printLine(                               \
+                ::scmp::debug::flag,                                \
+                ::scmp::logFormat(__VA_ARGS__));                    \
+        }                                                           \
+    } while (0)
+
+#endif // SCMP_SIM_DEBUG_HH

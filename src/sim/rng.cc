@@ -1,0 +1,31 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace scmp
+{
+
+double
+Rng::normal()
+{
+    // Box-Muller; draw until u1 is safely non-zero.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double
+Rng::exponential(double rate)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+}
+
+} // namespace scmp

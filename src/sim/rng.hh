@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator and the workloads draws
+ * from an explicitly-seeded Rng so that two runs of the same binary
+ * produce bit-identical results. The generator is splitmix64 for
+ * seeding feeding xoshiro256**, both public-domain algorithms.
+ */
+
+#ifndef SCMP_SIM_RNG_HH
+#define SCMP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace scmp
+{
+
+/** A small, fast, deterministic random number generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds → equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5ca1ab1edeadbeefull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the stream from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    range(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling, biased by
+        // at most 2^-64 which is irrelevant for simulation inputs.
+        unsigned __int128 m = (unsigned __int128)next() * bound;
+        return (std::uint64_t)(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    rangeClosed(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + (std::int64_t)range((std::uint64_t)(hi - lo + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no caching). */
+    double normal();
+
+    /** Exponential with the given rate. */
+    double exponential(double rate);
+
+    /** Bernoulli trial with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace scmp
+
+#endif // SCMP_SIM_RNG_HH

@@ -1,0 +1,213 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace scmp::stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    panic_if(!parent, "statistic '", _name, "' has no parent group");
+    parent->addStat(this);
+}
+
+void
+Stat::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(46) << (prefix + _name) << " "
+       << std::right << std::setw(14) << value() << "   # " << _desc
+       << "\n";
+}
+
+Distribution::Distribution(Group *parent, std::string name,
+                           std::string desc, double min, double max,
+                           int buckets)
+    : Stat(parent, std::move(name), std::move(desc)),
+      _min(min), _max(max),
+      _bucketWidth((max - min) / buckets),
+      _buckets(buckets, 0)
+{
+    panic_if(buckets <= 0, "distribution needs at least one bucket");
+    panic_if(max <= min, "distribution range is empty");
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (_samples == 0) {
+        _minSample = v;
+        _maxSample = v;
+    } else {
+        _minSample = std::min(_minSample, v);
+        _maxSample = std::max(_maxSample, v);
+    }
+    _samples += count;
+    _sum += v * count;
+    _sumSq += v * v * count;
+
+    if (v < _min) {
+        _underflow += count;
+    } else if (v >= _max) {
+        _overflow += count;
+    } else {
+        auto idx = (std::size_t)((v - _min) / _bucketWidth);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        _buckets[idx] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return _samples ? _sum / _samples : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (_samples < 2)
+        return 0.0;
+    double m = mean();
+    double var = _sumSq / _samples - m * m;
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _samples = 0;
+    _sum = 0;
+    _sumSq = 0;
+    _minSample = 0;
+    _maxSample = 0;
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(46) << (prefix + name() + "::mean")
+       << " " << std::right << std::setw(14) << mean() << "   # "
+       << desc() << "\n";
+    os << std::left << std::setw(46)
+       << (prefix + name() + "::samples") << " " << std::right
+       << std::setw(14) << _samples << "   # sample count\n";
+    os << std::left << std::setw(46)
+       << (prefix + name() + "::stddev") << " " << std::right
+       << std::setw(14) << stddev() << "   # standard deviation\n";
+}
+
+Formula::Formula(Group *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)),
+      _fn(std::move(fn))
+{
+}
+
+Group::Group(std::string name) : _name(std::move(name))
+{
+}
+
+Group::Group(Group *parent, std::string name)
+    : _parent(parent), _name(std::move(name))
+{
+    panic_if(!parent, "child stats group '", _name, "' needs parent");
+    parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (_parent)
+        _parent->removeChild(this);
+}
+
+std::string
+Group::path() const
+{
+    if (!_parent)
+        return _name;
+    return _parent->path() + "." + _name;
+}
+
+void
+Group::addStat(Stat *stat)
+{
+    for (const auto *existing : _stats) {
+        panic_if(existing->name() == stat->name(),
+                 "duplicate statistic '", stat->name(), "' in group '",
+                 _name, "'");
+    }
+    _stats.push_back(stat);
+}
+
+void
+Group::addChild(Group *child)
+{
+    _children.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    auto it = std::find(_children.begin(), _children.end(), child);
+    if (it != _children.end())
+        _children.erase(it);
+}
+
+Stat *
+Group::find(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (auto *stat : _stats) {
+            if (stat->name() == path)
+                return stat;
+        }
+        return nullptr;
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (auto *child : _children) {
+        if (child->name() == head)
+            return child->find(rest);
+    }
+    return nullptr;
+}
+
+double
+Group::lookup(const std::string &path) const
+{
+    const Stat *stat = find(path);
+    panic_if(!stat, "no statistic '", path, "' under group '", _name,
+             "'");
+    return stat->value();
+}
+
+void
+Group::resetAll()
+{
+    for (auto *stat : _stats)
+        stat->reset();
+    for (auto *child : _children)
+        child->resetAll();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    std::string prefix = path() + ".";
+    for (const auto *stat : _stats)
+        stat->print(os, prefix);
+    for (const auto *child : _children)
+        child->dump(os);
+}
+
+} // namespace scmp::stats

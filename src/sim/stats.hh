@@ -1,0 +1,204 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics are organized into named Groups; each Group owns
+ * scalars, averages, distributions and formulas. A Group can dump
+ * itself (and its children) as aligned text, and individual stats
+ * can be read programmatically by the experiment harnesses.
+ */
+
+#ifndef SCMP_SIM_STATS_HH
+#define SCMP_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scmp::stats
+{
+
+class Group;
+
+/** Base class for all statistic objects. */
+class Stat
+{
+  public:
+    Stat(Group *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current value as a double (distributions report their mean). */
+    virtual double value() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+    /** Print one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple counter / accumulator. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const override { return _value; }
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Mean of all samples fed to it. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double value() const override
+    {
+        return _count ? _sum / _count : 0.0;
+    }
+
+    std::uint64_t count() const { return _count; }
+
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * A bucketed histogram over [min, max] with fixed-width buckets,
+ * plus underflow/overflow counts and running moments.
+ */
+class Distribution : public Stat
+{
+  public:
+    Distribution(Group *parent, std::string name, std::string desc,
+                 double min, double max, int buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    double value() const override { return mean(); }
+    double mean() const;
+    double stddev() const;
+    std::uint64_t samples() const { return _samples; }
+    double minSample() const { return _minSample; }
+    double maxSample() const { return _maxSample; }
+    std::uint64_t bucket(int i) const { return _buckets.at(i); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    void reset() override;
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    double _min;
+    double _max;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _samples = 0;
+    double _sum = 0;
+    double _sumSq = 0;
+    double _minSample = 0;
+    double _maxSample = 0;
+};
+
+/** A derived value computed on demand from other statistics. */
+class Formula : public Stat
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const override { return _fn(); }
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * A named collection of statistics with optional child groups,
+ * forming a dotted hierarchy (e.g. "cluster0.scc.readMisses").
+ */
+class Group
+{
+  public:
+    /** Root group. */
+    explicit Group(std::string name);
+    /** Child group; registers itself with the parent. */
+    Group(Group *parent, std::string name);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Fully-qualified dotted path of this group. */
+    std::string path() const;
+
+    /** Register a statistic (called from the Stat constructor). */
+    void addStat(Stat *stat);
+    /** Register a child group. */
+    void addChild(Group *child);
+    /** Remove a child (called from the child's destructor). */
+    void removeChild(Group *child);
+
+    /** Look up a statistic by dotted path relative to this group. */
+    Stat *find(const std::string &path) const;
+
+    /** Value of a statistic by dotted path; panics if missing. */
+    double lookup(const std::string &path) const;
+
+    /** Reset this group's stats and all children recursively. */
+    void resetAll();
+
+    /** Dump "path value # desc" lines for the whole subtree. */
+    void dump(std::ostream &os) const;
+
+    const std::vector<Stat *> &localStats() const { return _stats; }
+    const std::vector<Group *> &children() const { return _children; }
+
+  private:
+    Group *_parent = nullptr;
+    std::string _name;
+    std::vector<Stat *> _stats;
+    std::vector<Group *> _children;
+};
+
+} // namespace scmp::stats
+
+#endif // SCMP_SIM_STATS_HH

@@ -1,0 +1,109 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace scmp
+{
+
+Table::Table(std::string title) : _title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(row.size() != _header.size(), "table '", _title,
+             "': row width ", row.size(), " != header width ",
+             _header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::cell(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::percentCell(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    panic_if(row >= _rows.size() || col >= _header.size(),
+             "table '", _title, "': cell (", row, ",", col,
+             ") out of range");
+    return _rows[row][col];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(_header.size(), 0);
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    os << "\n== " << _title << " ==\n";
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align numbers.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw((int)width[c]) << row[c];
+        }
+        os << "\n";
+    };
+    emitRow(_header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        emitRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << "\n";
+    };
+    emitRow(_header);
+    for (const auto &row : _rows)
+        emitRow(row);
+}
+
+} // namespace scmp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Aligned text tables for the experiment harnesses.
+ *
+ * Every bench binary prints its table/figure data through Table so
+ * the output matches the row/column layout the paper reports, and
+ * can also be emitted as CSV for plotting.
+ */
+
+#ifndef SCMP_SIM_TABLE_HH
+#define SCMP_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scmp
+{
+
+/** A rectangular table with a title, column headers and rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string cell(double value, int precision = 2);
+    static std::string cell(std::uint64_t value);
+    static std::string percentCell(double fraction, int precision = 2);
+
+    /** Render with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title line). */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return _title; }
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _header.size(); }
+
+    /** Cell accessor for tests (row, col). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace scmp
+
+#endif // SCMP_SIM_TABLE_HH

@@ -1,0 +1,32 @@
+#include "types.hh"
+
+#include <sstream>
+
+namespace scmp
+{
+
+const char *
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::Read: return "read";
+      case RefType::Write: return "write";
+      case RefType::Ifetch: return "ifetch";
+    }
+    return "unknown";
+}
+
+std::string
+sizeString(std::uint64_t bytes)
+{
+    std::ostringstream os;
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        os << (bytes >> 20) << "MB";
+    else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+        os << (bytes >> 10) << "KB";
+    else
+        os << bytes << "B";
+    return os.str();
+}
+
+} // namespace scmp

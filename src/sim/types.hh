@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental value types shared by every scmp library.
+ */
+
+#ifndef SCMP_SIM_TYPES_HH
+#define SCMP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace scmp
+{
+
+/** A simulated physical/virtual byte address. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** A signed cycle delta (latencies, slack windows). */
+using CycleDelta = std::int64_t;
+
+/** Global processor index within the machine (0 .. nCpus-1). */
+using CpuId = int;
+
+/** Cluster index within the machine (0 .. nClusters-1). */
+using ClusterId = int;
+
+/** Bank index within a shared cluster cache. */
+using BankId = int;
+
+/** Direct-execution thread id (== CpuId for parallel runs). */
+using ThreadId = int;
+
+/** Kinds of memory references produced by the execution engine. */
+enum class RefType
+{
+    Read,       //!< data load
+    Write,      //!< data store
+    Ifetch,     //!< instruction fetch
+};
+
+/** Human-readable name of a RefType. */
+const char *refTypeName(RefType type);
+
+/** An invalid/unassigned address marker. */
+constexpr Addr invalidAddr = ~Addr(0);
+
+/**
+ * Integer log2 for power-of-two sizes (cache geometry).
+ * Precondition: x is a power of two and non-zero.
+ */
+constexpr int
+floorLog2(std::uint64_t x)
+{
+    int n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** True iff x is a non-zero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Format a byte count as "4KB" / "512KB" / "2MB" for table headers. */
+std::string sizeString(std::uint64_t bytes);
+
+} // namespace scmp
+
+#endif // SCMP_SIM_TYPES_HH

@@ -1,0 +1,132 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/machine.hh"
+#include "sim/logging.hh"
+
+namespace scmp
+{
+
+const char TraceWriter::magic[8] = {'S', 'C', 'M', 'P',
+                                    'T', 'R', 'C', '1'};
+
+namespace
+{
+
+struct TraceHeader
+{
+    char magic[8];
+    std::uint64_t count;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "wb");
+    fatal_if(!_file, "cannot open trace file '", path,
+             "' for writing");
+    TraceHeader header{};
+    std::memcpy(header.magic, magic, sizeof(magic));
+    header.count = 0;  // patched by close()
+    fatal_if(std::fwrite(&header, sizeof(header), 1, _file) != 1,
+             "cannot write trace header");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    panic_if(!_file, "append to a closed trace");
+    panic_if(std::fwrite(&record, sizeof(record), 1, _file) != 1,
+             "trace write failed (disk full?)");
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (!_file)
+        return;
+    // Patch the record count into the header.
+    TraceHeader header{};
+    std::memcpy(header.magic, magic, sizeof(magic));
+    header.count = _count;
+    std::fseek(_file, 0, SEEK_SET);
+    panic_if(std::fwrite(&header, sizeof(header), 1, _file) != 1,
+             "cannot finalize trace header");
+    std::fclose(_file);
+    _file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "rb");
+    fatal_if(!_file, "cannot open trace file '", path, "'");
+    TraceHeader header{};
+    fatal_if(std::fread(&header, sizeof(header), 1, _file) != 1,
+             "trace file '", path, "' is truncated");
+    fatal_if(std::memcmp(header.magic, TraceWriter::magic,
+                         sizeof(header.magic)) != 0,
+             "'", path, "' is not an scmp trace file");
+    _count = header.count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    if (_read >= _count)
+        return false;
+    panic_if(std::fread(&record, sizeof(record), 1, _file) != 1,
+             "trace truncated mid-record");
+    ++_read;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    std::fseek(_file, (long)sizeof(TraceHeader), SEEK_SET);
+    _read = 0;
+}
+
+ReplayResult
+replayTrace(Machine &machine, TraceReader &reader)
+{
+    std::vector<Cycle> clocks(
+        (std::size_t)machine.config().totalCpus(), 0);
+
+    ReplayResult result;
+    TraceRecord record;
+    while (reader.next(record)) {
+        fatal_if(record.cpu >= clocks.size(),
+                 "trace cpu ", record.cpu,
+                 " exceeds the machine's ", clocks.size(),
+                 " processors");
+        Cycle &clock = clocks[record.cpu];
+        clock += record.gap;  // issue after the recorded gap
+        clock = machine.access((CpuId)record.cpu,
+                               record.refType(), record.addr,
+                               clock, record.gap);
+        ++result.references;
+    }
+    for (Cycle clock : clocks)
+        result.cycles = std::max(result.cycles, clock);
+    result.readMissRate = machine.readMissRate();
+    result.invalidations = machine.invalidations();
+    return result;
+}
+
+} // namespace scmp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reference-trace recording and replay (the pixie role).
+ *
+ * The paper's multiprogramming study pipes pixie-annotated
+ * reference streams into the cache simulator. This module provides
+ * the equivalent substrate: a TracingMemory decorator records
+ * every reference a direct-execution run makes into a compact
+ * binary trace, and replayTrace() re-drives any machine
+ * configuration from such a trace without re-executing the
+ * workload — the classic trace-driven methodology and its classic
+ * speed advantage (one execution, many cache configurations).
+ *
+ * Caveat inherent to trace-driven simulation: the recorded
+ * interleaving is fixed, so feedback between timing and reference
+ * order (lock acquisition order, self-scheduling) is frozen at
+ * record time. The paper's own methodology has the same property.
+ */
+
+#ifndef SCMP_TRACE_TRACE_HH
+#define SCMP_TRACE_TRACE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** One recorded memory reference. */
+struct TraceRecord
+{
+    Addr addr = 0;            //!< simulated byte address
+    std::uint32_t gap = 0;    //!< instructions since previous ref
+    std::uint16_t cpu = 0;    //!< issuing processor
+    std::uint8_t type = 0;    //!< RefType as an integer
+    std::uint8_t pad = 0;
+
+    RefType refType() const { return (RefType)type; }
+};
+
+static_assert(sizeof(TraceRecord) == 16,
+              "trace records must be exactly 16 bytes on disk");
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const TraceRecord &record);
+
+    /** Flush and finalize the header. Implied by destruction. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return _count; }
+
+    /** The 8-byte magic that starts every trace file. */
+    static const char magic[8];
+
+  private:
+    std::FILE *_file = nullptr;
+    std::uint64_t _count = 0;
+};
+
+/** Reader over a trace file. */
+class TraceReader
+{
+  public:
+    /** Open and validate @p path; fatal on a malformed file. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Total records in the file. */
+    std::uint64_t size() const { return _count; }
+
+    /** Read the next record. @return false at end of trace. */
+    bool next(TraceRecord &record);
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    std::FILE *_file = nullptr;
+    std::uint64_t _count = 0;
+    std::uint64_t _read = 0;
+};
+
+/**
+ * MemorySystem decorator: forwards every access to the wrapped
+ * system unchanged while appending it to a trace.
+ */
+class TracingMemory : public MemorySystem
+{
+  public:
+    TracingMemory(MemorySystem *inner, TraceWriter *writer)
+        : _inner(inner), _writer(writer)
+    {
+    }
+
+    Cycle
+    access(CpuId cpu, RefType type, Addr addr, Cycle now,
+           std::uint32_t instrGap) override
+    {
+        TraceRecord record;
+        record.addr = addr;
+        record.gap = instrGap;
+        record.cpu = (std::uint16_t)cpu;
+        record.type = (std::uint8_t)type;
+        _writer->append(record);
+        return _inner->access(cpu, type, addr, now, instrGap);
+    }
+
+  private:
+    MemorySystem *_inner;
+    TraceWriter *_writer;
+};
+
+/** Outcome of a trace replay. */
+struct ReplayResult
+{
+    Cycle cycles = 0;          //!< max per-cpu completion time
+    std::uint64_t references = 0;
+    double readMissRate = 0;
+    std::uint64_t invalidations = 0;
+};
+
+class Machine;
+
+/**
+ * Drive @p machine with the recorded reference stream, in record
+ * order, advancing a private clock per processor (each reference
+ * issues gap instruction-cycles after the previous one on that
+ * processor, or when its predecessor completed, whichever is
+ * later).
+ */
+ReplayResult replayTrace(Machine &machine, TraceReader &reader);
+
+} // namespace scmp
+
+#endif // SCMP_TRACE_TRACE_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * "compress" stand-in: real LZW compression (the algorithm behind
+ * SPEC92 129.compress) over synthetic text, block mode with
+ * dictionary reset per block. Working set: input text + code
+ * output + a chained-hash dictionary.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class CompressApp : public SpecApp
+{
+  public:
+    explicit CompressApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "compress"; }
+    std::uint64_t codeBytes() const override { return 12 * 1024; }
+
+    static constexpr int inputBytes = 32 * 1024;
+    static constexpr int blockBytes = 2048;
+    static constexpr int dictSize = 4096;
+    static constexpr int hashSize = 8192;
+    static constexpr int firstCode = 256;
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _input = arena.alloc<Shared<std::uint8_t>>(inputBytes);
+        _codes = arena.alloc<Shared<std::int32_t>>(blockBytes + 16);
+        _hashHead = arena.alloc<Shared<std::int32_t>>(hashSize);
+        _hashNext = arena.alloc<Shared<std::int32_t>>(dictSize);
+        _prefix = arena.alloc<Shared<std::int32_t>>(dictSize);
+        _suffix = arena.alloc<Shared<std::int32_t>>(dictSize);
+
+        // Synthetic English-ish text: skewed letter frequencies
+        // with word structure, so LZW finds real repetition.
+        static const char *words[] = {
+            "the",  "cache",  "memory", "shared", "cluster",
+            "bus",  "miss",   "line",   "data",   "processor",
+            "of",   "and",    "a",      "to",     "in",
+        };
+        std::string text;
+        while ((int)text.size() < inputBytes) {
+            text += words[_rng.range(15)];
+            text += ' ';
+        }
+        for (int i = 0; i < inputBytes; ++i)
+            _input[i].raw() = (std::uint8_t)text[(std::size_t)i];
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Compress one block with a fresh dictionary.
+        int base = _block * blockBytes % inputBytes;
+        ++_block;
+
+        // Reset the dictionary hash heads.
+        for (int h = 0; h < hashSize; ++h)
+            _hashHead[h].st(ctx, -1);
+        int nextCode = firstCode;
+
+        int outPos = 0;
+        std::int32_t current = _input[base].ld(ctx);
+        for (int i = 1; i < blockBytes; ++i) {
+            std::int32_t symbol = _input[base + i].ld(ctx);
+            ctx.work(4);
+
+            // Search the chained hash for (current, symbol).
+            int h = (int)(((std::uint32_t)current * 31 +
+                           (std::uint32_t)symbol) %
+                          hashSize);
+            std::int32_t entry = _hashHead[h].ld(ctx);
+            bool found = false;
+            while (entry >= 0) {
+                ctx.work(4);
+                if (_prefix[entry].ld(ctx) == current &&
+                    _suffix[entry].ld(ctx) == symbol) {
+                    current = firstCode + entry;
+                    found = true;
+                    break;
+                }
+                entry = _hashNext[entry].ld(ctx);
+            }
+            if (found)
+                continue;
+
+            // Emit the current code and add a dictionary entry.
+            _codes[outPos++].st(ctx, current);
+            if (nextCode < firstCode + dictSize) {
+                int slot = nextCode - firstCode;
+                _prefix[slot].st(ctx, current);
+                _suffix[slot].st(ctx, symbol);
+                _hashNext[slot].st(ctx, _hashHead[h].ld(ctx));
+                _hashHead[h].st(ctx, slot);
+                ++nextCode;
+            }
+            current = symbol;
+        }
+        _codes[outPos++].st(ctx, current);
+        _lastBlockBase = base;
+        _lastOutCount = outPos;
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        // Host-side LZW decode of the last block must reproduce
+        // the input text exactly.
+        std::vector<std::string> dict;
+        auto expand = [&](std::int32_t code) -> std::string {
+            if (code < firstCode)
+                return std::string(1, (char)code);
+            return dict[(std::size_t)(code - firstCode)];
+        };
+        std::string output;
+        std::int32_t prev = _codes[0].raw();
+        output += expand(prev);
+        for (int i = 1; i < _lastOutCount; ++i) {
+            std::int32_t code = _codes[i].raw();
+            std::string piece;
+            if (code < firstCode ||
+                code - firstCode < (int)dict.size()) {
+                piece = expand(code);
+            } else {
+                piece = expand(prev) + expand(prev)[0];
+            }
+            dict.push_back(expand(prev) + piece[0]);
+            output += piece;
+            prev = code;
+        }
+        if ((int)output.size() != blockBytes)
+            return false;
+        for (int i = 0; i < blockBytes; ++i) {
+            if ((std::uint8_t)output[(std::size_t)i] !=
+                _input[_lastBlockBase + i].raw()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Rng _rng;
+    Shared<std::uint8_t> *_input = nullptr;
+    Shared<std::int32_t> *_codes = nullptr;
+    Shared<std::int32_t> *_hashHead = nullptr;
+    Shared<std::int32_t> *_hashNext = nullptr;
+    Shared<std::int32_t> *_prefix = nullptr;
+    Shared<std::int32_t> *_suffix = nullptr;
+    int _block = 0;
+    int _lastBlockBase = 0;
+    int _lastOutCount = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeCompress(std::uint64_t seed)
+{
+    return std::make_unique<CompressApp>(seed);
+}
+
+} // namespace scmp::spec

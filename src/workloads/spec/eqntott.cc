@@ -1,0 +1,195 @@
+/**
+ * @file
+ * "eqntott" stand-in: boolean equations to truth tables. SPEC92
+ * 023.eqntott spends most of its time in qsort over truth-table
+ * rows; we evaluate a random boolean expression over all input
+ * assignments and quicksort the resulting rows, with every row
+ * access simulated.
+ */
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class EqntottApp : public SpecApp
+{
+  public:
+    explicit EqntottApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "eqntott"; }
+    std::uint64_t codeBytes() const override { return 24 * 1024; }
+
+    static constexpr int numVars = 11;
+    static constexpr int numRows = 1 << numVars;  // 2048
+    static constexpr int exprTerms = 24;
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _rowKey = arena.alloc<Shared<std::uint32_t>>(numRows);
+        _rowValue = arena.alloc<Shared<std::uint8_t>>(numRows);
+        // Expression: sum of products over the variables; each
+        // term is a (mask, polarity) pair.
+        _termMask = arena.alloc<Shared<std::uint32_t>>(exprTerms);
+        _termPolarity =
+            arena.alloc<Shared<std::uint32_t>>(exprTerms);
+        randomizeExpression();
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Build the truth table: evaluate the PLA-style sum of
+        // products for every assignment.
+        for (int row = 0; row < numRows; ++row) {
+            std::uint32_t assignment = (std::uint32_t)row;
+            std::uint8_t value = 0;
+            for (int t = 0; t < exprTerms && !value; ++t) {
+                std::uint32_t mask = _termMask[t].ld(ctx);
+                std::uint32_t pol = _termPolarity[t].ld(ctx);
+                value = ((assignment & mask) == (pol & mask)) ? 1
+                                                              : 0;
+                ctx.work(4);
+            }
+            // Key orders ON-set rows first, then by assignment —
+            // the ordering eqntott's PT-format output needs.
+            std::uint32_t key =
+                ((std::uint32_t)(1 - value) << numVars) |
+                assignment;
+            _rowKey[row].st(ctx, key);
+            _rowValue[row].st(ctx, value);
+        }
+
+        quicksort(ctx, 0, numRows - 1);
+        randomizeExpression();
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        for (int i = 1; i < numRows; ++i) {
+            if (_rowKey[i - 1].raw() > _rowKey[i].raw())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    randomizeExpression()
+    {
+        for (int t = 0; t < exprTerms; ++t) {
+            // 3-5 literals per product term.
+            std::uint32_t mask = 0;
+            int literals = 3 + (int)_rng.range(3);
+            for (int l = 0; l < literals; ++l)
+                mask |= 1u << _rng.range(numVars);
+            _termMask[t].raw() = mask;
+            _termPolarity[t].raw() =
+                (std::uint32_t)_rng.range(1u << numVars);
+        }
+    }
+
+    /** In-place quicksort over the simulated row arrays. */
+    void
+    quicksort(ThreadCtx &ctx, int lo, int hi)
+    {
+        while (lo < hi) {
+            if (hi - lo < 8) {
+                insertionSort(ctx, lo, hi);
+                return;
+            }
+            // Hoare partition splits into [lo, mid] and
+            // [mid+1, hi]; recurse on the smaller side to bound
+            // the host stack.
+            int mid = partition(ctx, lo, hi);
+            if (mid - lo < hi - mid) {
+                quicksort(ctx, lo, mid);
+                lo = mid + 1;
+            } else {
+                quicksort(ctx, mid + 1, hi);
+                hi = mid;
+            }
+        }
+    }
+
+    int
+    partition(ThreadCtx &ctx, int lo, int hi)
+    {
+        std::uint32_t pivot = _rowKey[(lo + hi) / 2].ld(ctx);
+        int i = lo - 1;
+        int j = hi + 1;
+        for (;;) {
+            do {
+                ++i;
+                ctx.work(2);
+            } while (_rowKey[i].ld(ctx) < pivot);
+            do {
+                --j;
+                ctx.work(2);
+            } while (_rowKey[j].ld(ctx) > pivot);
+            if (i >= j)
+                return j;
+            swapRows(ctx, i, j);
+        }
+    }
+
+    void
+    insertionSort(ThreadCtx &ctx, int lo, int hi)
+    {
+        for (int i = lo + 1; i <= hi; ++i) {
+            std::uint32_t key = _rowKey[i].ld(ctx);
+            std::uint8_t value = _rowValue[i].ld(ctx);
+            int j = i - 1;
+            while (j >= lo && _rowKey[j].ld(ctx) > key) {
+                _rowKey[j + 1].st(ctx, _rowKey[j].ld(ctx));
+                _rowValue[j + 1].st(ctx, _rowValue[j].ld(ctx));
+                --j;
+                ctx.work(3);
+            }
+            _rowKey[j + 1].st(ctx, key);
+            _rowValue[j + 1].st(ctx, value);
+        }
+    }
+
+    void
+    swapRows(ThreadCtx &ctx, int i, int j)
+    {
+        std::uint32_t keyI = _rowKey[i].ld(ctx);
+        std::uint32_t keyJ = _rowKey[j].ld(ctx);
+        _rowKey[i].st(ctx, keyJ);
+        _rowKey[j].st(ctx, keyI);
+        std::uint8_t valueI = _rowValue[i].ld(ctx);
+        std::uint8_t valueJ = _rowValue[j].ld(ctx);
+        _rowValue[i].st(ctx, valueJ);
+        _rowValue[j].st(ctx, valueI);
+    }
+
+    Rng _rng;
+    Shared<std::uint32_t> *_rowKey = nullptr;
+    Shared<std::uint8_t> *_rowValue = nullptr;
+    Shared<std::uint32_t> *_termMask = nullptr;
+    Shared<std::uint32_t> *_termPolarity = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeEqntott(std::uint64_t seed)
+{
+    return std::make_unique<EqntottApp>(seed);
+}
+
+} // namespace scmp::spec

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * "espresso" stand-in: two-level logic (PLA) cover minimization.
+ * SPEC92 espresso manipulates covers of cubes — positional-cube
+ * bitvectors — computing distances, consensus and containment. We
+ * run the same inner operations over a randomly generated cover:
+ * distance-1 merging (the core of EXPAND/IRREDUNDANT) plus
+ * single-cube containment sweeps.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class EspressoApp : public SpecApp
+{
+  public:
+    explicit EspressoApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "espresso"; }
+    std::uint64_t codeBytes() const override { return 220 * 1024; }
+
+    static constexpr int numVars = 16;
+    static constexpr int maxCubes = 4096;
+    /** Cubes whose pairings one iterate() examines. */
+    static constexpr int windowCubes = 8;
+    /** Cubes each window cube is compared against. */
+    static constexpr int reachCubes = 2048;
+
+    /// Positional-cube encoding: per variable two bits,
+    /// 01 = negative literal, 10 = positive, 11 = don't care.
+    static constexpr std::uint32_t dontCareAll = 0xffffffffu;
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _cubes = arena.alloc<Shared<std::uint32_t>>(maxCubes);
+        _alive = arena.alloc<Shared<std::uint8_t>>(maxCubes);
+        regenerate();
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // One minimization slice: take the next window of cubes,
+        // merge distance-1 pairs against the whole cover, then
+        // delete window cubes contained in another cube.
+        int windowBase = _window * windowCubes % _numCubes;
+        ++_window;
+        int windowEnd =
+            std::min(windowBase + windowCubes, _numCubes);
+
+        int merges = 0;
+        for (int i = windowBase; i < windowEnd; ++i) {
+            if (!_alive[i].ld(ctx))
+                continue;
+            std::uint32_t cubeI = _cubes[i].ld(ctx);
+            int reach = std::min(i + 1 + reachCubes, _numCubes);
+            for (int j = i + 1; j < reach; ++j) {
+                if (!_alive[j].ld(ctx))
+                    continue;
+                std::uint32_t cubeJ = _cubes[j].ld(ctx);
+                ctx.work(6);
+                if (distance(cubeI, cubeJ) == 1) {
+                    // Consensus merge: union the differing part.
+                    std::uint32_t merged = cubeI | cubeJ;
+                    _cubes[i].st(ctx, merged);
+                    _alive[j].st(ctx, 0);
+                    cubeI = merged;
+                    ++merges;
+                }
+            }
+        }
+
+        int contained = 0;
+        for (int i = windowBase; i < windowEnd; ++i) {
+            if (!_alive[i].ld(ctx))
+                continue;
+            std::uint32_t cubeI = _cubes[i].ld(ctx);
+            int reach = std::min(i + reachCubes, _numCubes);
+            for (int j = std::max(0, i - reachCubes); j < reach;
+                 ++j) {
+                if (j == i || !_alive[j].ld(ctx))
+                    continue;
+                std::uint32_t cubeJ = _cubes[j].ld(ctx);
+                ctx.work(4);
+                // i contained in j when every literal of j covers
+                // the corresponding literal of i.
+                if ((cubeI | cubeJ) == cubeJ) {
+                    _alive[i].st(ctx, 0);
+                    ++contained;
+                    break;
+                }
+            }
+        }
+
+        _lastMerges = merges;
+        _lastContained = contained;
+        // Re-seed once every full sweep over the cover, like
+        // espresso iterating over PLA after PLA.
+        if (_window * windowCubes >= 4 * _numCubes) {
+            _window = 0;
+            regenerate();
+        }
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        // Cover can only shrink within a PLA; alive flags must be
+        // boolean; every alive cube must keep a legal encoding
+        // (no 00 literal, which would denote the empty cube).
+        int alive = 0;
+        for (int i = 0; i < _numCubes; ++i) {
+            std::uint8_t flag = _alive[i].raw();
+            if (flag != 0 && flag != 1)
+                return false;
+            if (!flag)
+                continue;
+            ++alive;
+            std::uint32_t cube = _cubes[i].raw();
+            for (int v = 0; v < numVars; ++v) {
+                if (((cube >> (2 * v)) & 3u) == 0)
+                    return false;
+            }
+        }
+        return alive > 0 && alive <= _numCubes;
+    }
+
+  private:
+    static int
+    distance(std::uint32_t a, std::uint32_t b)
+    {
+        // Number of variables whose literal intersection is empty.
+        std::uint32_t meet = a & b;
+        int dist = 0;
+        for (int v = 0; v < numVars; ++v) {
+            if (((meet >> (2 * v)) & 3u) == 0)
+                ++dist;
+        }
+        return dist;
+    }
+
+    void
+    regenerate()
+    {
+        _numCubes = maxCubes / 2 + (int)_rng.range(maxCubes / 2);
+        for (int i = 0; i < _numCubes; ++i) {
+            std::uint32_t cube = 0;
+            for (int v = 0; v < numVars; ++v) {
+                // Mostly don't-care with sparse literals, like
+                // real PLA inputs.
+                std::uint32_t lit;
+                switch (_rng.range(4)) {
+                  case 0: lit = 1; break;   // negative
+                  case 1: lit = 2; break;   // positive
+                  default: lit = 3; break;  // don't care
+                }
+                cube |= lit << (2 * v);
+            }
+            _cubes[i].raw() = cube;
+            _alive[i].raw() = 1;
+        }
+        for (int i = _numCubes; i < maxCubes; ++i)
+            _alive[i].raw() = 0;
+    }
+
+    Rng _rng;
+    Shared<std::uint32_t> *_cubes = nullptr;
+    Shared<std::uint8_t> *_alive = nullptr;
+    int _numCubes = 0;
+    int _window = 0;
+    int _lastMerges = 0;
+    int _lastContained = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeEspresso(std::uint64_t seed)
+{
+    return std::make_unique<EspressoApp>(seed);
+}
+
+} // namespace scmp::spec

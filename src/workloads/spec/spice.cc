@@ -1,0 +1,173 @@
+/**
+ * @file
+ * "spice" stand-in: analog circuit simulation. SPEC92 spice2g6
+ * spends its time in the sparse linear solve at each Newton step.
+ * We model an RC-ladder/grid network: assemble the nodal
+ * conductance system once, then per iterate run Gauss-Seidel
+ * relaxation sweeps with time-varying sources (one "transient
+ * timepoint" per iterate).
+ */
+
+#include <cmath>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class SpiceApp : public SpecApp
+{
+  public:
+    explicit SpiceApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "spice"; }
+    std::uint64_t codeBytes() const override { return 300 * 1024; }
+
+    static constexpr int gridRows = 24;
+    static constexpr int gridCols = 24;
+    static constexpr int numNodes = gridRows * gridCols;
+    static constexpr int maxNeighbors = 8;
+    static constexpr int sweepsPerTimepoint = 6;
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _neighbor = arena.alloc<Shared<std::int32_t>>(
+            numNodes * maxNeighbors);
+        _conductance = arena.alloc<Shared<double>>(
+            numNodes * maxNeighbors);
+        _diagonal = arena.alloc<Shared<double>>(numNodes);
+        _voltage = arena.alloc<Shared<double>>(numNodes);
+        _current = arena.alloc<Shared<double>>(numNodes);
+
+        // Resistor grid with sparse diagonal braces; ground leak
+        // on every node keeps the system diagonally dominant.
+        for (int n = 0; n < numNodes; ++n) {
+            _diagonal[n].raw() = 0.05;  // ground conductance
+            _voltage[n].raw() = 0;
+            _current[n].raw() = 0;
+            for (int s = 0; s < maxNeighbors; ++s)
+                _neighbor[n * maxNeighbors + s].raw() = -1;
+        }
+        auto connect = [&](int a, int b, double g) {
+            addEdge(a, b, g);
+            addEdge(b, a, g);
+            _diagonal[a].raw() += g;
+            _diagonal[b].raw() += g;
+        };
+        for (int r = 0; r < gridRows; ++r) {
+            for (int c = 0; c < gridCols; ++c) {
+                int node = r * gridCols + c;
+                double g = 0.5 + _rng.uniform();
+                if (c + 1 < gridCols)
+                    connect(node, node + 1, g);
+                if (r + 1 < gridRows)
+                    connect(node, node + gridCols,
+                            0.5 + _rng.uniform());
+                if (r + 1 < gridRows && c + 1 < gridCols &&
+                    _rng.chance(0.15)) {
+                    connect(node, node + gridCols + 1,
+                            0.2 + 0.3 * _rng.uniform());
+                }
+            }
+        }
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Advance the transient: sinusoidal drive on one edge,
+        // step input on a corner.
+        double t = 0.05 * (double)iterations();
+        for (int r = 0; r < gridRows; ++r) {
+            _current[r * gridCols].st(
+                ctx, std::sin(t + 0.3 * r));
+        }
+        _current[numNodes - 1].st(ctx, t > 1.0 ? 2.0 : 0.0);
+        ctx.work(40);
+
+        // Gauss-Seidel sweeps over the sparse system.
+        double residual = 0;
+        for (int sweep = 0; sweep < sweepsPerTimepoint; ++sweep) {
+            residual = 0;
+            for (int n = 0; n < numNodes; ++n) {
+                double rhs = _current[n].ld(ctx);
+                double offdiag = 0;
+                for (int s = 0; s < maxNeighbors; ++s) {
+                    std::int32_t m =
+                        _neighbor[n * maxNeighbors + s].ld(ctx);
+                    if (m < 0)
+                        break;
+                    offdiag +=
+                        _conductance[n * maxNeighbors + s].ld(
+                            ctx) *
+                        _voltage[m].ld(ctx);
+                    ctx.work(3);
+                }
+                double updated =
+                    (rhs + offdiag) / _diagonal[n].ld(ctx);
+                double old = _voltage[n].ld(ctx);
+                residual += std::abs(updated - old);
+                _voltage[n].st(ctx, updated);
+                ctx.work(5);
+            }
+        }
+        _lastResidual = residual;
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        // All node voltages finite and bounded (passive network
+        // with bounded drive), and the sweep was converging.
+        for (int n = 0; n < numNodes; ++n) {
+            double v = _voltage[n].raw();
+            if (!std::isfinite(v) || std::abs(v) > 1e3)
+                return false;
+        }
+        return std::isfinite(_lastResidual);
+    }
+
+  private:
+    void
+    addEdge(int from, int to, double conductance)
+    {
+        for (int s = 0; s < maxNeighbors; ++s) {
+            if (_neighbor[from * maxNeighbors + s].raw() < 0) {
+                _neighbor[from * maxNeighbors + s].raw() = to;
+                _conductance[from * maxNeighbors + s].raw() =
+                    conductance;
+                return;
+            }
+        }
+        panic("spice node has too many neighbours");
+    }
+
+    Rng _rng;
+    Shared<std::int32_t> *_neighbor = nullptr;
+    Shared<double> *_conductance = nullptr;
+    Shared<double> *_diagonal = nullptr;
+    Shared<double> *_voltage = nullptr;
+    Shared<double> *_current = nullptr;
+    double _lastResidual = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeSpice(std::uint64_t seed)
+{
+    return std::make_unique<SpiceApp>(seed);
+}
+
+} // namespace scmp::spec

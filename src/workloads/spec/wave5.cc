@@ -1,0 +1,167 @@
+/**
+ * @file
+ * "wave5" stand-in: Maxwell's-equations-style field solver. SPEC92
+ * wave5 is a particle-in-cell plasma code dominated by large-array
+ * streaming sweeps. We integrate the 2-D wave equation with a
+ * leapfrog stencil over three large field arrays plus a small set
+ * of tracer particles pushed by the field gradient — streaming
+ * access with a large working set, the exact opposite of xlisp.
+ */
+
+#include <cmath>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class Wave5App : public SpecApp
+{
+  public:
+    explicit Wave5App(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "wave5"; }
+    std::uint64_t codeBytes() const override { return 60 * 1024; }
+
+    static constexpr int nx = 96;
+    static constexpr int ny = 64;
+    static constexpr int numTracers = 256;
+    static constexpr double courant2 = 0.2;  // (c dt / dx)^2
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _prev = arena.alloc<Shared<double>>(nx * ny);
+        _curr = arena.alloc<Shared<double>>(nx * ny);
+        _next = arena.alloc<Shared<double>>(nx * ny);
+        _tracerX = arena.alloc<Shared<double>>(numTracers);
+        _tracerY = arena.alloc<Shared<double>>(numTracers);
+
+        // Gaussian pulse in the middle of the domain.
+        for (int i = 0; i < nx; ++i) {
+            for (int j = 0; j < ny; ++j) {
+                double dx = (i - nx / 2) / 8.0;
+                double dy = (j - ny / 2) / 8.0;
+                double amplitude =
+                    std::exp(-(dx * dx + dy * dy));
+                _prev[i * ny + j].raw() = amplitude;
+                _curr[i * ny + j].raw() = amplitude;
+                _next[i * ny + j].raw() = 0;
+            }
+        }
+        for (int t = 0; t < numTracers; ++t) {
+            _tracerX[t].raw() = _rng.uniform(1.0, nx - 2.0);
+            _tracerY[t].raw() = _rng.uniform(1.0, ny - 2.0);
+        }
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Leapfrog update of the interior.
+        for (int i = 1; i < nx - 1; ++i) {
+            for (int j = 1; j < ny - 1; ++j) {
+                double center = _curr[i * ny + j].ld(ctx);
+                double laplacian =
+                    _curr[(i - 1) * ny + j].ld(ctx) +
+                    _curr[(i + 1) * ny + j].ld(ctx) +
+                    _curr[i * ny + j - 1].ld(ctx) +
+                    _curr[i * ny + j + 1].ld(ctx) -
+                    4.0 * center;
+                double updated = 2.0 * center -
+                                 _prev[i * ny + j].ld(ctx) +
+                                 courant2 * laplacian;
+                _next[i * ny + j].st(ctx, updated);
+                ctx.work(10);
+            }
+        }
+        // Reflecting boundaries: copy edges.
+        for (int i = 0; i < nx; ++i) {
+            _next[i * ny].st(ctx, 0.0);
+            _next[i * ny + ny - 1].st(ctx, 0.0);
+        }
+        for (int j = 0; j < ny; ++j) {
+            _next[j].st(ctx, 0.0);
+            _next[(nx - 1) * ny + j].st(ctx, 0.0);
+        }
+
+        // Push tracer particles along the field gradient (the PIC
+        // particle phase, gather-style access).
+        for (int t = 0; t < numTracers; ++t) {
+            double x = _tracerX[t].ld(ctx);
+            double y = _tracerY[t].ld(ctx);
+            int i = (int)x;
+            int j = (int)y;
+            i = i < 1 ? 1 : (i > nx - 2 ? nx - 2 : i);
+            j = j < 1 ? 1 : (j > ny - 2 ? ny - 2 : j);
+            double gradX = _next[(i + 1) * ny + j].ld(ctx) -
+                           _next[(i - 1) * ny + j].ld(ctx);
+            double gradY = _next[i * ny + j + 1].ld(ctx) -
+                           _next[i * ny + j - 1].ld(ctx);
+            x += 0.5 * gradX;
+            y += 0.5 * gradY;
+            x = x < 1.0 ? 1.0 : (x > nx - 2.0 ? nx - 2.0 : x);
+            y = y < 1.0 ? 1.0 : (y > ny - 2.0 ? ny - 2.0 : y);
+            _tracerX[t].st(ctx, x);
+            _tracerY[t].st(ctx, y);
+            ctx.work(12);
+        }
+
+        // Rotate the field planes (pointer swap, host-side).
+        Shared<double> *old = _prev;
+        _prev = _curr;
+        _curr = _next;
+        _next = old;
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        // The reflecting box conserves energy approximately; the
+        // field must stay finite and bounded.
+        double sumSq = 0;
+        for (int k = 0; k < nx * ny; ++k) {
+            double v = _curr[k].raw();
+            if (!std::isfinite(v))
+                return false;
+            sumSq += v * v;
+        }
+        if (sumSq <= 0 || sumSq > 1e6)
+            return false;
+        for (int t = 0; t < numTracers; ++t) {
+            if (!std::isfinite(_tracerX[t].raw()) ||
+                !std::isfinite(_tracerY[t].raw())) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    Rng _rng;
+    Shared<double> *_prev = nullptr;
+    Shared<double> *_curr = nullptr;
+    Shared<double> *_next = nullptr;
+    Shared<double> *_tracerX = nullptr;
+    Shared<double> *_tracerY = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeWave5(std::uint64_t seed)
+{
+    return std::make_unique<Wave5App>(seed);
+}
+
+} // namespace scmp::spec

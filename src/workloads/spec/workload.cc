@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The Table-2 multiprogramming workload factory.
+ */
+
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+std::vector<std::unique_ptr<SpecApp>>
+makeSpecWorkload(std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<SpecApp>> apps;
+    apps.push_back(makeSc(seed + 1));
+    apps.push_back(makeEspresso(seed + 2));
+    apps.push_back(makeEqntott(seed + 3));
+    apps.push_back(makeXlisp(seed + 4));
+    apps.push_back(makeCompress(seed + 5));
+    apps.push_back(makeGcc(seed + 6));
+    apps.push_back(makeSpice(seed + 7));
+    apps.push_back(makeWave5(seed + 8));
+    return apps;
+}
+
+} // namespace scmp::spec

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * "xlisp" stand-in: a cons-cell heap with recursive list
+ * processing and mark-sweep garbage collection — the memory
+ * behaviour of SPEC92 li (the XLISP interpreter running the
+ * nine-queens problem): intense pointer chasing over a heap of
+ * small nodes with periodic full-heap GC sweeps.
+ *
+ * Each iterate() solves an N-queens instance the way li does:
+ * boards are cons lists, candidate positions are consed onto
+ * partial solutions, and dead boards become garbage.
+ */
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace scmp::spec
+{
+
+namespace
+{
+
+class XlispApp : public SpecApp
+{
+  public:
+    explicit XlispApp(std::uint64_t seed) : _rng(seed) {}
+
+    std::string name() const override { return "xlisp"; }
+    std::uint64_t codeBytes() const override { return 90 * 1024; }
+
+    static constexpr std::int32_t nil = -1;
+    static constexpr int heapCells = 8 * 1024;  // 128 KB heap
+    static constexpr int queensBoard = 6;
+
+    /** A cons cell: car holds a small integer or a cell index
+     *  (tagged by sign via the isPointer flag), cdr links on. */
+    struct Cell
+    {
+        Shared<std::int32_t> car;
+        Shared<std::int32_t> cdr;
+        Shared<std::uint8_t> mark;
+        Shared<std::uint8_t> carIsPointer;
+        Shared<std::uint16_t> pad;
+    };
+
+    void
+    setup(Arena &arena) override
+    {
+        arena.alignTo(4096);
+        _heap = arena.alloc<Cell>(heapCells);
+        // Thread the free list through cdr.
+        for (int i = 0; i < heapCells; ++i) {
+            _heap[i].cdr.raw() =
+                (i + 1 < heapCells) ? i + 1 : nil;
+            _heap[i].car.raw() = 0;
+        }
+        _freeHead = 0;
+        _root = nil;
+    }
+
+    void
+    iterate(ThreadCtx &ctx) override
+    {
+        // Solve one scrambled N-queens column order; solutions
+        // accumulate on _root, then get dropped (garbage).
+        for (int c = 0; c < queensBoard; ++c)
+            _columnOrder[c] = c;
+        for (int c = queensBoard - 1; c > 0; --c) {
+            int swap = (int)_rng.range((std::uint64_t)(c + 1));
+            std::swap(_columnOrder[c], _columnOrder[swap]);
+        }
+        _solutions = 0;
+        placeQueen(ctx, 0, nil);
+
+        // Drop the solution list: everything reachable from _root
+        // becomes garbage for the next collection.
+        _root = nil;
+        ++_gcClock;
+        if (_gcClock % 4 == 0)
+            collect(ctx);
+        _lastSolutions = _solutions;
+        bumpIteration();
+    }
+
+    bool
+    verify() override
+    {
+        if (iterations() == 0)
+            return true;
+        // 6-queens has exactly 4 solutions regardless of the
+        // column order we try them in.
+        if (_lastSolutions != 4)
+            return false;
+        // Free-list must be acyclic and inside the heap.
+        std::int32_t cursor = _freeHead;
+        int steps = 0;
+        while (cursor != nil) {
+            if (cursor < 0 || cursor >= heapCells)
+                return false;
+            cursor = _heap[cursor].cdr.raw();
+            if (++steps > heapCells)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    /** cons(car, cdr) with an allocation from the free list. */
+    std::int32_t
+    cons(ThreadCtx &ctx, std::int32_t car, bool carIsPointer,
+         std::int32_t cdr)
+    {
+        // Collection happens only between problems (iterate()),
+        // when the active search path is empty — collecting here
+        // would sweep the unrooted path cells out from under us.
+        panic_if(_freeHead == nil,
+                 "xlisp heap exhausted mid-search; grow heapCells");
+        std::int32_t cell = _freeHead;
+        _freeHead = _heap[cell].cdr.ld(ctx);
+        _heap[cell].car.st(ctx, car);
+        _heap[cell].carIsPointer.st(ctx, carIsPointer ? 1 : 0);
+        _heap[cell].cdr.st(ctx, cdr);
+        ctx.work(4);
+        return cell;
+    }
+
+    /** Recursive queen placement; boards are cons lists of rows. */
+    void
+    placeQueen(ThreadCtx &ctx, int column, std::int32_t board)
+    {
+        if (column == queensBoard) {
+            // Record the solution: cons the board onto the root.
+            _root = cons(ctx, board, true, _root);
+            ++_solutions;
+            return;
+        }
+        for (int row = 0; row < queensBoard; ++row) {
+            if (!safe(ctx, board, row))
+                continue;
+            std::int32_t extended = cons(ctx, row, false, board);
+            placeQueen(ctx, column + 1, extended);
+            // The extended board is garbage unless a solution
+            // kept it alive (sharing via cdr).
+        }
+    }
+
+    /** Walk the board list checking attacks (pointer chasing). */
+    bool
+    safe(ThreadCtx &ctx, std::int32_t board, int row)
+    {
+        int distance = 1;
+        std::int32_t cursor = board;
+        while (cursor != nil) {
+            std::int32_t placed = _heap[cursor].car.ld(ctx);
+            ctx.work(6);
+            if (placed == row || placed == row - distance ||
+                placed == row + distance) {
+                return false;
+            }
+            ++distance;
+            cursor = _heap[cursor].cdr.ld(ctx);
+        }
+        return true;
+    }
+
+    /** Mark-sweep collection over the whole heap. */
+    void
+    collect(ThreadCtx &ctx)
+    {
+        markList(ctx, _root);
+        // Sweep: rebuild the free list from unmarked cells.
+        _freeHead = nil;
+        for (int i = heapCells - 1; i >= 0; --i) {
+            if (_heap[i].mark.ld(ctx)) {
+                _heap[i].mark.st(ctx, 0);
+            } else {
+                _heap[i].cdr.st(ctx, _freeHead);
+                _freeHead = i;
+            }
+            ctx.work(3);
+        }
+        // NOTE: sweeping rewrote the cdr of dead cells only; live
+        // list structure is intact because live cells were marked.
+    }
+
+    void
+    markList(ThreadCtx &ctx, std::int32_t cell)
+    {
+        while (cell != nil && !_heap[cell].mark.ld(ctx)) {
+            _heap[cell].mark.st(ctx, 1);
+            if (_heap[cell].carIsPointer.ld(ctx))
+                markList(ctx, _heap[cell].car.ld(ctx));
+            cell = _heap[cell].cdr.ld(ctx);
+            ctx.work(4);
+        }
+    }
+
+    Rng _rng;
+    Cell *_heap = nullptr;
+    std::int32_t _freeHead = nil;
+    std::int32_t _root = nil;
+    int _columnOrder[queensBoard] = {};
+    int _solutions = 0;
+    int _lastSolutions = 0;
+    int _gcClock = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SpecApp>
+makeXlisp(std::uint64_t seed)
+{
+    return std::make_unique<XlispApp>(seed);
+}
+
+} // namespace scmp::spec

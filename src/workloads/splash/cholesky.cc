@@ -1,0 +1,446 @@
+#include "cholesky.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace scmp::splash
+{
+
+Cholesky::Cholesky(CholeskyParams params) : _params(params)
+{
+    fatal_if(_params.gridRows < 2 || _params.gridCols < 2,
+             "Cholesky grid must be at least 2x2");
+    _matA = generateMatrix(_params);
+}
+
+namespace
+{
+
+/**
+ * Nested-dissection ordering of a rows x cols grid: recursively
+ * number the two halves, then the separator, so the elimination
+ * tree is bushy and the factorization has tree parallelism — the
+ * preprocessing the SPLASH code (and any 1990s BCSSTK14 run)
+ * applies before factoring.
+ */
+void
+dissect(int rowLo, int rowHi, int colLo, int colHi, int cols,
+        int leafNodes, std::vector<int> &order, int &next)
+{
+    int height = rowHi - rowLo;
+    int width = colHi - colLo;
+    if (height <= 0 || width <= 0)
+        return;
+    if (height * width <= leafNodes) {
+        for (int r = rowLo; r < rowHi; ++r) {
+            for (int c = colLo; c < colHi; ++c)
+                order[(std::size_t)(r * cols + c)] = next++;
+        }
+        return;
+    }
+    if (width >= height) {
+        int sep = colLo + width / 2;
+        dissect(rowLo, rowHi, colLo, sep, cols, leafNodes, order,
+                next);
+        dissect(rowLo, rowHi, sep + 1, colHi, cols, leafNodes,
+                order, next);
+        for (int r = rowLo; r < rowHi; ++r)
+            order[(std::size_t)(r * cols + sep)] = next++;
+    } else {
+        int sep = rowLo + height / 2;
+        dissect(rowLo, sep, colLo, colHi, cols, leafNodes, order,
+                next);
+        dissect(sep + 1, rowHi, colLo, colHi, cols, leafNodes,
+                order, next);
+        for (int c = colLo; c < colHi; ++c)
+            order[(std::size_t)(sep * cols + c)] = next++;
+    }
+}
+
+} // namespace
+
+SparseSpd
+Cholesky::generateMatrix(const CholeskyParams &params)
+{
+    int rows = params.gridRows;
+    int cols = params.gridCols;
+    int n = rows * cols;
+    Rng rng(params.seed);
+
+    // Fill-reducing nested-dissection permutation of the grid.
+    std::vector<int> order((std::size_t)n, -1);
+    int next = 0;
+    dissect(0, rows, 0, cols, cols, params.dissectLeafNodes,
+            order, next);
+    panic_if(next != n, "dissection missed grid nodes");
+
+    // Collect the lower-triangular coupling pattern: 9-point grid
+    // stencil plus sparse random long-range struts.
+    std::vector<std::set<int>> below((std::size_t)n);
+    auto couple = [&](int a, int b) {
+        a = order[(std::size_t)a];
+        b = order[(std::size_t)b];
+        if (a == b)
+            return;
+        int lo = std::min(a, b);
+        int hi = std::max(a, b);
+        below[(std::size_t)lo].insert(hi);
+    };
+
+    // 9-point grid coupling plus random long-range struts gives
+    // a BCSSTK14-class pattern at n = 1806.
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            int node = r * cols + c;
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    int rr = r + dr;
+                    int cc = c + dc;
+                    if (rr < 0 || rr >= rows || cc < 0 ||
+                        cc >= cols) {
+                        continue;
+                    }
+                    couple(node, rr * cols + cc);
+                }
+            }
+        }
+    }
+    int extras = (int)(params.extraStrutFraction * n);
+    for (int e = 0; e < extras; ++e) {
+        int a = (int)rng.range((std::uint64_t)n);
+        int reach = (int)rng.rangeClosed(2, params.strutReach);
+        int b = std::min(n - 1, a + reach);
+        couple(a, b);
+    }
+
+    // Assemble values: off-diagonals are negative weights, the
+    // diagonal dominates, so the matrix is SPD.
+    SparseSpd mat;
+    mat.n = n;
+    mat.colPtr.assign((std::size_t)n + 1, 0);
+    std::vector<double> rowWeight((std::size_t)n, 0.0);
+    std::vector<std::vector<std::pair<int, double>>> colEntries(
+        (std::size_t)n);
+    for (int j = 0; j < n; ++j) {
+        for (int i : below[(std::size_t)j]) {
+            double w = 0.5 + rng.uniform();
+            colEntries[(std::size_t)j].push_back({i, -w});
+            rowWeight[(std::size_t)j] += w;
+            rowWeight[(std::size_t)i] += w;
+        }
+    }
+    for (int j = 0; j < n; ++j) {
+        mat.colPtr[(std::size_t)j] = (int)mat.rowIdx.size();
+        mat.rowIdx.push_back(j);
+        mat.values.push_back(rowWeight[(std::size_t)j] + 1.0);
+        for (auto &[i, v] : colEntries[(std::size_t)j]) {
+            mat.rowIdx.push_back(i);
+            mat.values.push_back(v);
+        }
+    }
+    mat.colPtr[(std::size_t)n] = (int)mat.rowIdx.size();
+    return mat;
+}
+
+void
+Cholesky::symbolicFactor()
+{
+    // Classic column-merge symbolic factorization: each column's
+    // pattern is its A pattern united with the patterns of its
+    // elimination-tree children (rows below the child's pivot row).
+    int n = _matA.n;
+    std::vector<std::vector<int>> pattern((std::size_t)n);
+    std::vector<std::vector<int>> children((std::size_t)n);
+
+    for (int j = 0; j < n; ++j) {
+        std::set<int> rows;
+        for (int k = _matA.colPtr[(std::size_t)j] + 1;
+             k < _matA.colPtr[(std::size_t)j + 1]; ++k) {
+            rows.insert(_matA.rowIdx[(std::size_t)k]);
+        }
+        for (int child : children[(std::size_t)j]) {
+            const auto &cp = pattern[(std::size_t)child];
+            // Skip the child's diagonal and the row equal to j.
+            for (int r : cp) {
+                if (r > j)
+                    rows.insert(r);
+            }
+        }
+        auto &pj = pattern[(std::size_t)j];
+        pj.assign(rows.begin(), rows.end());
+        if (!pj.empty()) {
+            int parent = pj.front();
+            children[(std::size_t)parent].push_back(j);
+        }
+    }
+
+    _colPtrL.assign((std::size_t)n + 1, 0);
+    _rowIdxL.clear();
+    for (int j = 0; j < n; ++j) {
+        _colPtrL[(std::size_t)j] = (int)_rowIdxL.size();
+        _rowIdxL.push_back(j);  // diagonal first
+        for (int r : pattern[(std::size_t)j])
+            _rowIdxL.push_back(r);
+    }
+    _colPtrL[(std::size_t)n] = (int)_rowIdxL.size();
+}
+
+void
+Cholesky::setup(Arena &arena, const Topology &topo)
+{
+    int numThreads = topo.totalCpus();
+    symbolicFactor();
+    int n = _matA.n;
+    int nnzL = (int)_rowIdxL.size();
+
+    _rowIdxArena =
+        arena.alloc<Shared<std::int32_t>>((std::size_t)nnzL);
+    _valuesL = arena.alloc<Shared<double>>((std::size_t)nnzL);
+    _nmod = arena.alloc<Shared<std::int32_t>>((std::size_t)n);
+    _queue = arena.alloc<Shared<std::int32_t>>((std::size_t)n);
+    // Head and tail each get their own cache line; sharing one
+    // line would ping-pong it between poppers and pushers.
+    arena.alignTo(64);
+    _queueHead = arena.alloc<Shared<std::int32_t>>();
+    arena.alignTo(64);
+    _queueTail = arena.alloc<Shared<std::int32_t>>();
+    arena.alignTo(64);
+
+    for (int k = 0; k < nnzL; ++k) {
+        _rowIdxArena[k].raw() = _rowIdxL[(std::size_t)k];
+        _valuesL[k].raw() = 0.0;
+    }
+
+    // Scatter A's lower triangle into the factor structure.
+    for (int j = 0; j < n; ++j) {
+        int lp = _colPtrL[(std::size_t)j];
+        int lend = _colPtrL[(std::size_t)j + 1];
+        for (int k = _matA.colPtr[(std::size_t)j];
+             k < _matA.colPtr[(std::size_t)j + 1]; ++k) {
+            int row = _matA.rowIdx[(std::size_t)k];
+            while (lp < lend && _rowIdxL[(std::size_t)lp] != row)
+                ++lp;
+            panic_if(lp >= lend,
+                     "A entry missing from factor pattern");
+            _valuesL[lp].raw() = _matA.values[(std::size_t)k];
+        }
+    }
+
+    // nmod[r] = number of columns whose pattern contains row r,
+    // i.e. pending cmod updates into column r.
+    std::vector<std::int32_t> nmod((std::size_t)n, 0);
+    for (int j = 0; j < n; ++j) {
+        for (int k = _colPtrL[(std::size_t)j] + 1;
+             k < _colPtrL[(std::size_t)j + 1]; ++k) {
+            ++nmod[(std::size_t)_rowIdxL[(std::size_t)k]];
+        }
+    }
+    int ready = 0;
+    for (int j = 0; j < n; ++j) {
+        _nmod[j].raw() = nmod[(std::size_t)j];
+        if (nmod[(std::size_t)j] == 0)
+            _queue[ready++].raw() = j;
+    }
+    _queueHead->raw() = 0;
+    _queueTail->raw() = ready;
+    panic_if(ready == 0, "no initially-ready Cholesky columns");
+
+    _queueLock.emplace(arena);
+    for (int j = 0; j < n; ++j)
+        _columnLocks.emplace_back(arena);
+    _barrier.emplace(arena, numThreads);
+    _setupDone = true;
+}
+
+void
+Cholesky::pushReady(ThreadCtx &ctx, int column)
+{
+    ctx.lock(*_queueLock);
+    std::int32_t tail = _queueTail->ld(ctx);
+    _queue[tail].st(ctx, column);
+    _queueTail->st(ctx, tail + 1);
+    ctx.unlock(*_queueLock);
+}
+
+int
+Cholesky::popReady(ThreadCtx &ctx)
+{
+    // Unlocked peek first (test-and-test-and-set) so starved
+    // workers do not serialize the busy ones on the queue lock.
+    if (_queueHead->ld(ctx) >= _queueTail->ld(ctx))
+        return -1;
+    ctx.lock(*_queueLock);
+    std::int32_t head = _queueHead->ld(ctx);
+    std::int32_t tail = _queueTail->ld(ctx);
+    int column = -1;
+    if (head < tail) {
+        column = _queue[head].ld(ctx);
+        _queueHead->st(ctx, head + 1);
+    }
+    ctx.unlock(*_queueLock);
+    return column;
+}
+
+void
+Cholesky::cdiv(ThreadCtx &ctx, int j)
+{
+    int begin = _colPtrL[(std::size_t)j];
+    int end = _colPtrL[(std::size_t)j + 1];
+    double diag = _valuesL[begin].ld(ctx);
+    panic_if(diag <= 0, "matrix not positive definite at column ",
+             j, " (diag=", diag, ")");
+    double pivot = std::sqrt(diag);
+    _valuesL[begin].st(ctx, pivot);
+    ctx.work(20);  // sqrt
+    for (int k = begin + 1; k < end; ++k) {
+        double v = _valuesL[k].ld(ctx);
+        _valuesL[k].st(ctx, v / pivot);
+        ctx.work(3);
+    }
+}
+
+void
+Cholesky::cmod(ThreadCtx &ctx, int target, int source)
+{
+    // L(i, target) -= L(i, source) * L(target, source)
+    // for every i >= target in source's pattern.
+    int sBegin = _colPtrL[(std::size_t)source];
+    int sEnd = _colPtrL[(std::size_t)source + 1];
+    int tBegin = _colPtrL[(std::size_t)target];
+    int tEnd = _colPtrL[(std::size_t)target + 1];
+
+    // Locate the multiplier L(target, source).
+    int sp = sBegin + 1;
+    while (sp < sEnd && _rowIdxArena[sp].ld(ctx) != target)
+        ++sp;
+    panic_if(sp >= sEnd, "cmod without a coupling entry");
+    double mult = _valuesL[sp].ld(ctx);
+
+    // Two-pointer merge over the sorted row lists.
+    int tp = tBegin;
+    for (int k = sp; k < sEnd; ++k) {
+        int row = _rowIdxArena[k].ld(ctx);
+        double update = _valuesL[k].ld(ctx) * mult;
+        while (tp < tEnd && _rowIdxArena[tp].ld(ctx) != row)
+            ++tp;
+        panic_if(tp >= tEnd,
+                 "fill pattern violates the path theorem");
+        double v = _valuesL[tp].ld(ctx);
+        _valuesL[tp].st(ctx, v - update);
+        ctx.work(4);
+    }
+}
+
+void
+Cholesky::threadMain(ThreadCtx &ctx, int tid, const Topology &topo)
+{
+    panic_if(!_setupDone, "Cholesky run before setup");
+    (void)tid;
+    (void)topo;
+    int n = _matA.n;
+
+    std::uint64_t backoff = 100;
+    for (;;) {
+        int j = popReady(ctx);
+        if (j < 0) {
+            // Every column is pushed exactly once, so once the
+            // head reaches n every column has been claimed and no
+            // further work can appear.
+            if (_queueHead->ld(ctx) >= n)
+                break;
+            // Starved: poll with exponential backoff, like a
+            // spinning worker that found no work.
+            ctx.work(backoff);
+            ctx.yield();
+            if (backoff < 12800)
+                backoff *= 2;
+            continue;
+        }
+        backoff = 100;
+
+        cdiv(ctx, j);
+
+        // Fan the column's updates out to later columns.
+        int begin = _colPtrL[(std::size_t)j];
+        int end = _colPtrL[(std::size_t)j + 1];
+        for (int k = begin + 1; k < end; ++k) {
+            int target = _rowIdxArena[k].ld(ctx);
+            ctx.lock(_columnLocks[(std::size_t)target]);
+            cmod(ctx, target, j);
+            std::int32_t pending = _nmod[target].ld(ctx);
+            _nmod[target].st(ctx, pending - 1);
+            ctx.unlock(_columnLocks[(std::size_t)target]);
+            if (pending - 1 == 0)
+                pushReady(ctx, target);
+        }
+    }
+    ctx.barrier(*_barrier);
+}
+
+bool
+Cholesky::verify()
+{
+    // Residual check over A's nonzero pattern: (L L^T)(i,j) must
+    // reproduce A(i,j). Off-pattern entries of L L^T are exactly
+    // the cancelling fill and need no check for SPD inputs.
+    int n = _matA.n;
+
+    // Build a host row-major view of L for dot products.
+    std::vector<std::vector<std::pair<int, double>>> rowsOfL(
+        (std::size_t)n);
+    for (int j = 0; j < n; ++j) {
+        for (int k = _colPtrL[(std::size_t)j];
+             k < _colPtrL[(std::size_t)j + 1]; ++k) {
+            rowsOfL[(std::size_t)_rowIdxL[(std::size_t)k]]
+                .push_back({j, _valuesL[k].raw()});
+        }
+    }
+    for (auto &row : rowsOfL)
+        std::sort(row.begin(), row.end());
+
+    auto dot = [&](int a, int b) {
+        const auto &ra = rowsOfL[(std::size_t)a];
+        const auto &rb = rowsOfL[(std::size_t)b];
+        double sum = 0;
+        std::size_t ia = 0;
+        std::size_t ib = 0;
+        while (ia < ra.size() && ib < rb.size()) {
+            if (ra[ia].first < rb[ib].first) {
+                ++ia;
+            } else if (ra[ia].first > rb[ib].first) {
+                ++ib;
+            } else {
+                sum += ra[ia].second * rb[ib].second;
+                ++ia;
+                ++ib;
+            }
+        }
+        return sum;
+    };
+
+    double errNorm = 0;
+    double refNorm = 0;
+    for (int j = 0; j < n; ++j) {
+        for (int k = _matA.colPtr[(std::size_t)j];
+             k < _matA.colPtr[(std::size_t)j + 1]; ++k) {
+            int i = _matA.rowIdx[(std::size_t)k];
+            double a = _matA.values[(std::size_t)k];
+            double err = dot(i, j) - a;
+            errNorm += err * err;
+            refNorm += a * a;
+        }
+    }
+    double relative = std::sqrt(errNorm / std::max(refNorm, 1e-30));
+    if (relative > _params.residualTolerance) {
+        warn("Cholesky relative residual ", relative, " exceeds ",
+             _params.residualTolerance);
+        return false;
+    }
+    return true;
+}
+
+} // namespace scmp::splash

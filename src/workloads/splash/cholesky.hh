@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parallel sparse Cholesky factorization (SPLASH "cholesky").
+ *
+ * A from-scratch fan-out column Cholesky: when every update into a
+ * column has arrived (tracked by per-column modification counts),
+ * the column is divided by its pivot (cdiv) and its updates are
+ * scattered into later columns (cmod) under per-column locks.
+ * Ready columns circulate through one lock-protected task queue —
+ * the structure whose limited concurrency, load imbalance and
+ * synchronization overhead cap the paper's Cholesky speedups.
+ *
+ * The input is a synthetic BCSSTK14-class matrix: a 2-D stiffness
+ * operator (9-point coupling on a 42x43 grid, n = 1806) with extra
+ * random long-range struts, symmetric positive definite by
+ * diagonal dominance, factored in natural (banded) order. Symbolic
+ * factorization runs host-side and untimed, as in SPLASH.
+ */
+
+#ifndef SCMP_SPLASH_CHOLESKY_HH
+#define SCMP_SPLASH_CHOLESKY_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace scmp::splash
+{
+
+/** Input parameters (defaults: the BCSSTK14-class instance). */
+struct CholeskyParams
+{
+    int gridRows = 42;
+    int gridCols = 43;
+
+    /** Extra random struts per node (row irregularity). */
+    double extraStrutFraction = 0.05;
+
+    /** Maximum |i-j| of an extra strut. */
+    int strutReach = 120;
+
+    std::uint64_t seed = 11;
+
+    /**
+     * Nested-dissection leaf size: larger leaves (ordered in
+     * natural band order) limit the available tree concurrency,
+     * which is how the small BCSSTK14 input caps the paper's
+     * Cholesky speedups.
+     */
+    int dissectLeafNodes = 1024;
+
+    /** Relative factorization residual accepted by verify(). */
+    double residualTolerance = 1e-8;
+};
+
+/** Host-side sparse symmetric matrix in lower-triangular CCS. */
+struct SparseSpd
+{
+    int n = 0;
+    std::vector<int> colPtr;     //!< size n+1
+    std::vector<int> rowIdx;     //!< diagonal entry first per col
+    std::vector<double> values;
+
+    int nnz() const { return (int)rowIdx.size(); }
+};
+
+/** The Cholesky workload. */
+class Cholesky : public ParallelWorkload
+{
+  public:
+    explicit Cholesky(CholeskyParams params = {});
+
+    std::string name() const override { return "Cholesky"; }
+    void setup(Arena &arena, const Topology &topo) override;
+    void threadMain(ThreadCtx &ctx, int tid,
+                    const Topology &topo) override;
+    bool verify() override;
+
+    /** The generated input matrix (tests). */
+    const SparseSpd &matrix() const { return _matA; }
+
+    /** Factor nonzero count after symbolic factorization. */
+    int factorNnz() const { return (int)_rowIdxL.size(); }
+
+  private:
+    /** Generate the BCSSTK14-class input matrix. */
+    static SparseSpd generateMatrix(const CholeskyParams &params);
+
+    /** Host-side symbolic factorization (fill pattern of L). */
+    void symbolicFactor();
+
+    /// @name Simulated numeric phase.
+    /// @{
+    void cdiv(ThreadCtx &ctx, int j);
+    void cmod(ThreadCtx &ctx, int target, int source);
+    void pushReady(ThreadCtx &ctx, int column);
+    int popReady(ThreadCtx &ctx);
+    /// @}
+
+    CholeskyParams _params;
+    SparseSpd _matA;
+
+    /// Host-side factor structure (symbolic result).
+    std::vector<int> _colPtrL;
+    std::vector<int> _rowIdxHostL;
+
+    /// @name Simulated (arena) data.
+    /// @{
+    Shared<std::int32_t> *_rowIdxArena = nullptr;
+    Shared<double> *_valuesL = nullptr;
+    Shared<std::int32_t> *_nmod = nullptr;
+    Shared<std::int32_t> *_queue = nullptr;
+    Shared<std::int32_t> *_queueHead = nullptr;
+    Shared<std::int32_t> *_queueTail = nullptr;
+    /// @}
+
+    std::vector<int> _rowIdxL;  //!< host copy of the fill pattern
+
+    std::optional<SimLock> _queueLock;
+    std::deque<SimLock> _columnLocks;
+    std::optional<SimBarrier> _barrier;
+    bool _setupDone = false;
+};
+
+} // namespace scmp::splash
+
+#endif // SCMP_SPLASH_CHOLESKY_HH

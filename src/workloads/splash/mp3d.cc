@@ -1,0 +1,272 @@
+#include "mp3d.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace scmp::splash
+{
+
+Mp3d::Mp3d(Mp3dParams params) : _params(params)
+{
+    fatal_if(_params.nparticles < 1, "MP3D needs particles");
+    fatal_if(_params.gridX < 2 || _params.gridY < 2 ||
+                 _params.gridZ < 2,
+             "MP3D grid must be at least 2x2x2");
+}
+
+double
+Mp3d::hashUniform(std::uint64_t seed, std::uint64_t a,
+                  std::uint64_t b, std::uint64_t c)
+{
+    // splitmix64 over a combined key: deterministic and identical
+    // across every machine configuration, so all design points
+    // simulate the same physics.
+    std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
+                      (b * 0xc2b2ae3d27d4eb4full) ^
+                      (c * 0x165667b19e3779f9ull);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x = x ^ (x >> 31);
+    return (x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int
+Mp3d::cellOf(const double pos[3]) const
+{
+    auto clampIndex = [](double x, int n) {
+        int i = (int)x;
+        return std::clamp(i, 0, n - 1);
+    };
+    int cx = clampIndex(pos[0], _params.gridX);
+    int cy = clampIndex(pos[1], _params.gridY);
+    int cz = clampIndex(pos[2], _params.gridZ);
+    return (cz * _params.gridY + cy) * _params.gridX + cx;
+}
+
+void
+Mp3d::setup(Arena &arena, const Topology &topo)
+{
+    int numThreads = topo.totalCpus();
+    _particles =
+        arena.alloc<Particle>((std::size_t)_params.nparticles);
+    _cells = arena.alloc<SpaceCell>((std::size_t)numCells());
+    _barrier.emplace(arena, numThreads);
+
+    Rng rng(_params.seed);
+    for (int i = 0; i < _params.nparticles; ++i) {
+        _particles[i].pos[0].raw() =
+            rng.uniform(0.0, (double)_params.gridX);
+        _particles[i].pos[1].raw() =
+            rng.uniform(0.0, (double)_params.gridY);
+        _particles[i].pos[2].raw() =
+            rng.uniform(0.0, (double)_params.gridZ);
+        _particles[i].vel[0].raw() =
+            _params.streamVelocity +
+            _params.thermalVelocity * rng.normal();
+        _particles[i].vel[1].raw() =
+            _params.thermalVelocity * rng.normal();
+        _particles[i].vel[2].raw() =
+            _params.thermalVelocity * rng.normal();
+    }
+    _setupDone = true;
+}
+
+void
+Mp3d::threadMain(ThreadCtx &ctx, int tid, const Topology &topo)
+{
+    int numThreads = topo.totalCpus();
+    panic_if(!_setupDone, "MP3D run before setup");
+    for (int step = 0; step < _params.steps; ++step) {
+        resetPhase(ctx, tid, numThreads);
+        ctx.barrier(*_barrier);
+        movePhase(ctx, tid, numThreads, step);
+        ctx.barrier(*_barrier);
+        collidePhase(ctx, tid, numThreads, step);
+        ctx.barrier(*_barrier);
+    }
+}
+
+void
+Mp3d::resetPhase(ThreadCtx &ctx, int tid, int numThreads)
+{
+    // Cells are statically striped over the threads.
+    int cells = numCells();
+    int first = (int)((std::int64_t)cells * tid / numThreads);
+    int last = (int)((std::int64_t)cells * (tid + 1) / numThreads);
+    for (int c = first; c < last; ++c) {
+        _cells[c].count.st(ctx, 0);
+        ctx.work(2);
+    }
+}
+
+void
+Mp3d::movePhase(ThreadCtx &ctx, int tid, int numThreads, int step)
+{
+    int n = _params.nparticles;
+    int first = (int)((std::int64_t)n * tid / numThreads);
+    int last = (int)((std::int64_t)n * (tid + 1) / numThreads);
+    double limits[3] = {(double)_params.gridX,
+                        (double)_params.gridY,
+                        (double)_params.gridZ};
+
+    for (int i = first; i < last; ++i) {
+        double pos[3];
+        double vel[3];
+        for (int d = 0; d < 3; ++d) {
+            pos[d] = _particles[i].pos[d].ld(ctx);
+            vel[d] = _particles[i].vel[d].ld(ctx);
+        }
+        ctx.work(6);
+
+        for (int d = 0; d < 3; ++d)
+            pos[d] += vel[d] * _params.dt;
+
+        // Outflow at +x re-injects fresh upstream gas; the lateral
+        // walls reflect specularly.
+        bool reinjected = pos[0] >= limits[0] || pos[0] < 0;
+        if (reinjected) {
+            pos[0] = 0.001;
+            pos[1] = hashUniform(_params.seed, (std::uint64_t)i,
+                                 (std::uint64_t)step, 1) *
+                     limits[1];
+            pos[2] = hashUniform(_params.seed, (std::uint64_t)i,
+                                 (std::uint64_t)step, 2) *
+                     limits[2];
+            double u1 = hashUniform(_params.seed, (std::uint64_t)i,
+                                    (std::uint64_t)step, 3);
+            vel[0] = _params.streamVelocity +
+                     _params.thermalVelocity * (u1 - 0.5) * 2.0;
+            vel[1] = _params.thermalVelocity *
+                     (hashUniform(_params.seed, (std::uint64_t)i,
+                                  (std::uint64_t)step, 4) -
+                      0.5) *
+                     2.0;
+            vel[2] = _params.thermalVelocity *
+                     (hashUniform(_params.seed, (std::uint64_t)i,
+                                  (std::uint64_t)step, 5) -
+                      0.5) *
+                     2.0;
+        } else {
+            for (int d = 1; d < 3; ++d) {
+                if (pos[d] < 0) {
+                    pos[d] = -pos[d];
+                    vel[d] = -vel[d];
+                } else if (pos[d] >= limits[d]) {
+                    pos[d] = 2 * limits[d] - pos[d] - 1e-9;
+                    vel[d] = -vel[d];
+                }
+                pos[d] = std::clamp(pos[d], 0.0,
+                                    limits[d] - 1e-9);
+            }
+        }
+        ctx.work(14);
+
+        // Re-bin: unlocked read-modify-write on the shared counter,
+        // exactly as the original benchmark does.
+        int cell = cellOf(pos);
+        std::int32_t count = _cells[cell].count.ld(ctx);
+        _cells[cell].count.st(ctx, count + 1);
+
+        for (int d = 0; d < 3; ++d) {
+            _particles[i].pos[d].st(ctx, pos[d]);
+            _particles[i].vel[d].st(ctx, vel[d]);
+        }
+    }
+}
+
+void
+Mp3d::collidePhase(ThreadCtx &ctx, int tid, int numThreads,
+                   int step)
+{
+    int n = _params.nparticles;
+    int first = (int)((std::int64_t)n * tid / numThreads);
+    int last = (int)((std::int64_t)n * (tid + 1) / numThreads);
+
+    for (int i = first; i < last; ++i) {
+        double pos[3];
+        for (int d = 0; d < 3; ++d)
+            pos[d] = _particles[i].pos[d].ld(ctx);
+        int cell = cellOf(pos);
+        ctx.work(6);
+
+        // The collision dice are a pure function of (particle,
+        // step), so every design point simulates the same physics.
+        double dice = hashUniform(_params.seed, (std::uint64_t)i,
+                                  (std::uint64_t)step, 99);
+        if (dice >= _params.collisionProbability)
+            continue;
+
+        // Collide with the cell's reservoir partner: exchange
+        // momentum along a random axis (hard-sphere flavour).
+        double vel[3];
+        double res[3];
+        for (int d = 0; d < 3; ++d) {
+            vel[d] = _particles[i].vel[d].ld(ctx);
+            res[d] = _cells[cell].resVel[d].ld(ctx);
+        }
+        for (int d = 0; d < 3; ++d) {
+            double mean = 0.5 * (vel[d] + res[d]);
+            double delta = 0.5 * (vel[d] - res[d]);
+            double mix = hashUniform(_params.seed, (std::uint64_t)i,
+                                     (std::uint64_t)step,
+                                     (std::uint64_t)(100 + d)) -
+                         0.5;
+            vel[d] = mean + delta * mix;
+            res[d] = mean - delta * mix;
+        }
+        ctx.work(24);
+        for (int d = 0; d < 3; ++d) {
+            _particles[i].vel[d].st(ctx, vel[d]);
+            _cells[cell].resVel[d].st(ctx, res[d]);
+        }
+        std::int32_t c = _cells[cell].collisions.ld(ctx);
+        _cells[cell].collisions.st(ctx, c + 1);
+    }
+}
+
+std::int64_t
+Mp3d::totalCollisions() const
+{
+    std::int64_t total = 0;
+    for (int c = 0; c < numCells(); ++c)
+        total += _cells[c].collisions.raw();
+    return total;
+}
+
+bool
+Mp3d::verify()
+{
+    // Every particle must sit inside the tunnel with finite state.
+    for (int i = 0; i < _params.nparticles; ++i) {
+        double p[3];
+        for (int d = 0; d < 3; ++d) {
+            p[d] = _particles[i].pos[d].raw();
+            if (!std::isfinite(p[d]) ||
+                !std::isfinite(_particles[i].vel[d].raw())) {
+                return false;
+            }
+        }
+        if (p[0] < 0 || p[0] > _params.gridX || p[1] < 0 ||
+            p[1] > _params.gridY || p[2] < 0 ||
+            p[2] > _params.gridZ) {
+            return false;
+        }
+    }
+
+    // Unlocked counters can lose updates, but the census should be
+    // near the particle count and collisions must have happened.
+    std::int64_t census = 0;
+    for (int c = 0; c < numCells(); ++c)
+        census += _cells[c].count.raw();
+    if (census < _params.nparticles / 2 ||
+        census > _params.nparticles) {
+        return false;
+    }
+    return _params.steps == 0 || totalCollisions() > 0;
+}
+
+} // namespace scmp::splash

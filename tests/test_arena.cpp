@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the deterministic shared-memory arena.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/arena.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+TEST(Arena, AddressesAreDeterministic)
+{
+    Arena a(1 << 16);
+    Arena b(1 << 16);
+    void *pa = a.allocBytes(100);
+    void *pb = b.allocBytes(100);
+    EXPECT_EQ(a.simAddr(pa), b.simAddr(pb));
+    void *qa = a.allocBytes(40, 64);
+    void *qb = b.allocBytes(40, 64);
+    EXPECT_EQ(a.simAddr(qa), b.simAddr(qb));
+}
+
+TEST(Arena, SimHostRoundTrip)
+{
+    Arena arena(1 << 16);
+    auto *p = arena.alloc<std::uint64_t>(8);
+    p[3] = 0xabcd;
+    Addr sim = arena.simAddr(&p[3]);
+    EXPECT_GE(sim, arena.base());
+    auto *back = (std::uint64_t *)arena.hostAddr(sim);
+    EXPECT_EQ(back, &p[3]);
+    EXPECT_EQ(*back, 0xabcdu);
+}
+
+TEST(Arena, AlignmentRespected)
+{
+    Arena arena(1 << 16);
+    arena.allocBytes(3);
+    for (std::size_t align : {8u, 16u, 64u, 4096u}) {
+        void *p = arena.allocBytes(1, align);
+        EXPECT_EQ((std::uintptr_t)p % align, 0u);
+        EXPECT_EQ(arena.simAddr(p) % align, 0u)
+            << "simulated address must share the host alignment";
+        arena.allocBytes(5);
+    }
+}
+
+TEST(Arena, AlignToAdvancesCursor)
+{
+    Arena arena(1 << 16);
+    arena.allocBytes(10);
+    arena.alignTo(4096);
+    void *p = arena.allocBytes(1);
+    EXPECT_EQ(arena.simAddr(p) % 4096, 0u);
+}
+
+TEST(Arena, ContainsDetectsForeignPointers)
+{
+    Arena arena(1 << 12);
+    int local = 0;
+    void *p = arena.allocBytes(16);
+    EXPECT_TRUE(arena.contains(p));
+    EXPECT_FALSE(arena.contains(&local));
+}
+
+TEST(Arena, TypedAllocationDefaultConstructs)
+{
+    Arena arena(1 << 12);
+    struct Widget
+    {
+        int value = 17;
+    };
+    Widget *w = arena.alloc<Widget>(3);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(w[i].value, 17);
+}
+
+TEST(Arena, ZeroedMemory)
+{
+    Arena arena(1 << 12);
+    auto *p = (unsigned char *)arena.allocBytes(256);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(p[i], 0);
+}
+
+TEST(ArenaDeath, ExhaustionIsFatal)
+{
+    Arena arena(256);
+    arena.allocBytes(200);
+    EXPECT_EXIT(arena.allocBytes(100),
+                ::testing::ExitedWithCode(1), "arena exhausted");
+}
+
+TEST(ArenaDeath, ForeignSimAddrPanics)
+{
+    Arena arena(256);
+    int local = 0;
+    EXPECT_DEATH(arena.simAddr(&local), "outside the arena");
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the Barnes-Hut workload: force accuracy against
+ * direct summation, energy conservation, determinism, and the
+ * design-space behaviours the paper relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parallel_run.hh"
+#include "workloads/splash/barnes.hh"
+
+namespace
+{
+
+using namespace scmp;
+using splash::Barnes;
+using splash::BarnesParams;
+
+/** Run one frozen step (dt = 0) so acc matches the positions. */
+RunResult
+runFrozen(Barnes &barnes, Arena &arena, int procs = 1,
+          int clusters = 4)
+{
+    MachineConfig config;
+    config.numClusters = clusters;
+    config.cpusPerCluster = procs;
+    return runParallel(config, barnes, &arena);
+}
+
+class BarnesForceTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BarnesForceTest, TreeForcesMatchDirectSummation)
+{
+    BarnesParams params;
+    params.nbodies = 192;
+    params.steps = 1;
+    params.dt = 0.0;
+    params.theta = GetParam();
+    Barnes barnes(params);
+    Arena arena(32ull << 20);
+    runFrozen(barnes, arena);
+
+    double meanError = 0;
+    for (int i = 0; i < params.nbodies; ++i) {
+        double exact[3] = {0, 0, 0};
+        double eps2 = params.eps * params.eps;
+        for (int j = 0; j < params.nbodies; ++j) {
+            if (j == i)
+                continue;
+            double r2 = eps2;
+            double dx[3];
+            for (int d = 0; d < 3; ++d) {
+                dx[d] = barnes.bodyPos(j, d) - barnes.bodyPos(i, d);
+                r2 += dx[d] * dx[d];
+            }
+            double inv =
+                barnes.bodyMass(j) / (r2 * std::sqrt(r2));
+            for (int d = 0; d < 3; ++d)
+                exact[d] += dx[d] * inv;
+        }
+        double errSq = 0;
+        double refSq = 0;
+        for (int d = 0; d < 3; ++d) {
+            double e = barnes.bodyAcc(i, d) - exact[d];
+            errSq += e * e;
+            refSq += exact[d] * exact[d];
+        }
+        meanError += std::sqrt(errSq / (refSq + 1e-30));
+    }
+    meanError /= params.nbodies;
+
+    // theta = 0.3 is near-exact; theta = 1.0 with quadrupole
+    // corrections stays within a few percent on average.
+    double bound = GetParam() <= 0.31 ? 0.01 : 0.08;
+    EXPECT_LT(meanError, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, BarnesForceTest,
+                         ::testing::Values(0.3, 0.7, 1.0));
+
+TEST(Barnes, EnergyConservedOverRun)
+{
+    BarnesParams params;
+    params.nbodies = 256;
+    params.steps = 4;
+    Barnes barnes(params);
+    Arena arena(32ull << 20);
+    double initial = 0;
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        auto result = runParallel(config, barnes, &arena);
+        EXPECT_TRUE(result.verified);
+    }
+    (void)initial;
+}
+
+TEST(Barnes, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        BarnesParams params;
+        params.nbodies = 128;
+        params.steps = 2;
+        Barnes barnes(params);
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        return runParallel(config, barnes).cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Barnes, SamePhysicsEveryTopology)
+{
+    // The physics must not depend on the machine: final positions
+    // are identical for 4 and 16 processors because every phase
+    // is barrier-separated and updates are per-body.
+    auto positions = [](int procs) {
+        BarnesParams params;
+        params.nbodies = 128;
+        params.steps = 2;
+        Barnes barnes(params);
+        Arena arena(32ull << 20);
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        runParallel(config, barnes, &arena);
+        std::vector<double> all;
+        for (int i = 0; i < params.nbodies; ++i) {
+            for (int d = 0; d < 3; ++d)
+                all.push_back(barnes.bodyPos(i, d));
+        }
+        return all;
+    };
+    auto p1 = positions(1);
+    auto p4 = positions(4);
+    ASSERT_EQ(p1.size(), p4.size());
+    for (std::size_t i = 0; i < p1.size(); ++i)
+        EXPECT_NEAR(p1[i], p4[i], 1e-9);
+}
+
+TEST(Barnes, MoreProcessorsRunFaster)
+{
+    BarnesParams params;
+    params.nbodies = 256;
+    params.steps = 2;
+    auto time = [&](int procs) {
+        Barnes barnes(params);
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        return runParallel(config, barnes).cycles;
+    };
+    Cycle t1 = time(1);
+    Cycle t4 = time(4);
+    EXPECT_LT(t4, t1);
+    EXPECT_GT((double)t1 / (double)t4, 1.8);
+}
+
+TEST(Barnes, InvalidationsDoNotGrowWithClusterWidth)
+{
+    // The paper's core clustering claim.
+    BarnesParams params;
+    params.nbodies = 512;
+    params.steps = 3;
+    auto invalidations = [&](int procs) {
+        Barnes barnes(params);
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        config.scc.sizeBytes = 128 << 10;
+        return runParallel(config, barnes).invalidations;
+    };
+    auto inv1 = invalidations(1);
+    auto inv8 = invalidations(8);
+    EXPECT_LT((double)inv8, 1.25 * (double)inv1);
+}
+
+TEST(Barnes, SmallCacheInterferenceRaisesMissRate)
+{
+    BarnesParams params;
+    params.nbodies = 512;
+    params.steps = 2;
+    auto missRate = [&](std::uint64_t scc) {
+        Barnes barnes(params);
+        MachineConfig config;
+        config.cpusPerCluster = 8;
+        config.scc.sizeBytes = scc;
+        return runParallel(config, barnes).readMissRate;
+    };
+    EXPECT_GT(missRate(4 << 10), 3.0 * missRate(256 << 10));
+}
+
+TEST(Barnes, RejectsDegenerateInputs)
+{
+    BarnesParams params;
+    params.nbodies = 1;
+    EXPECT_EXIT(Barnes{params}, ::testing::ExitedWithCode(1),
+                ">= 2 bodies");
+    BarnesParams noSteps;
+    noSteps.steps = 0;
+    EXPECT_EXIT(Barnes{noSteps}, ::testing::ExitedWithCode(1),
+                ">= 1 step");
+}
+
+} // namespace

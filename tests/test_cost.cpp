@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the Section-4 cost models: the published chip areas,
+ * load latencies, FO4 access rule and component areas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/chips.hh"
+
+namespace
+{
+
+using namespace scmp::cost;
+
+TEST(AreaModel, PublishedChipAreas)
+{
+    AreaModel model;
+    EXPECT_NEAR(oneProcChip().areaMm2(model), 204.0, 1.0);
+    EXPECT_NEAR(twoProcChip().areaMm2(model), 279.0, 1.0);
+    EXPECT_NEAR(fourProcBuildingBlock().areaMm2(model), 297.0,
+                1.5);
+    EXPECT_NEAR(eightProcBuildingBlock().areaMm2(model), 306.0,
+                1.5);
+}
+
+TEST(AreaModel, PublishedRelativeSizes)
+{
+    // Paper: +37%, +46%, +50% versus the one-processor chip.
+    AreaModel model;
+    double base = oneProcChip().areaMm2(model);
+    EXPECT_NEAR(twoProcChip().areaMm2(model) / base, 1.37, 0.01);
+    EXPECT_NEAR(fourProcBuildingBlock().areaMm2(model) / base,
+                1.46, 0.01);
+    EXPECT_NEAR(eightProcBuildingBlock().areaMm2(model) / base,
+                1.50, 0.01);
+}
+
+TEST(AreaModel, SramBlocks)
+{
+    SramModel sram;
+    EXPECT_DOUBLE_EQ(sram.singlePortedAreaMm2(64 << 10),
+                     8 * 6.6);
+    EXPECT_DOUBLE_EQ(sram.sccAreaMm2(32 << 10), 8 * 8.0);
+    // The multiported bank stores half the bits in more area.
+    EXPECT_GT(sram.sccAreaMm2(32 << 10),
+              sram.singlePortedAreaMm2(32 << 10));
+}
+
+TEST(AreaModel, IcnMatchesPublishedCrossbar)
+{
+    IcnModel icn;
+    EXPECT_NEAR(icn.areaMm2(3), 12.1, 0.2);
+    // Linear in ports.
+    EXPECT_NEAR(icn.areaMm2(6), 2 * icn.areaMm2(3), 0.01);
+}
+
+TEST(AreaModel, ProcessScaling)
+{
+    Process process;
+    // 0.4um from 0.68um shrinks area by the square of the ratio.
+    EXPECT_NEAR(process.scaleFrom(0.68), 0.346, 0.001);
+    EXPECT_DOUBLE_EQ(process.scaleFrom(0.4), 1.0);
+}
+
+TEST(TimingModel, LoadLatencies)
+{
+    TimingModel timing;
+    EXPECT_EQ(oneProcChip().loadLatency(timing), 2);
+    EXPECT_EQ(twoProcChip().loadLatency(timing), 3);
+    EXPECT_EQ(fourProcBuildingBlock().loadLatency(timing), 4);
+    EXPECT_EQ(eightProcBuildingBlock().loadLatency(timing), 4);
+}
+
+TEST(TimingModel, SixtyFourKIsTheSingleCycleLimit)
+{
+    TimingModel timing;
+    EXPECT_TRUE(timing.fitsSingleCycle(32 << 10));
+    EXPECT_TRUE(timing.fitsSingleCycle(64 << 10));
+    EXPECT_FALSE(timing.fitsSingleCycle(128 << 10));
+    EXPECT_NEAR(timing.cacheAccessFo4(64 << 10), 30.0, 0.1);
+}
+
+TEST(TimingModel, AccessTimeMonotone)
+{
+    TimingModel timing;
+    double previous = 0;
+    for (std::uint64_t kb = 4; kb <= 512; kb *= 2) {
+        double fo4 = timing.cacheAccessFo4(kb << 10);
+        EXPECT_GT(fo4, previous);
+        previous = fo4;
+    }
+}
+
+TEST(Implementations, PaperListIsComplete)
+{
+    auto impls = paperImplementations();
+    ASSERT_EQ(impls.size(), 4u);
+    EXPECT_EQ(impls[0].chip.clusterProcessors, 1);
+    EXPECT_EQ(impls[1].chip.clusterProcessors, 2);
+    EXPECT_EQ(impls[2].chip.clusterProcessors, 4);
+    EXPECT_EQ(impls[3].chip.clusterProcessors, 8);
+    EXPECT_EQ(impls[2].chipsPerCluster, 2);
+    EXPECT_EQ(impls[3].chipsPerCluster, 4);
+    // Cluster SCC capacities: 64KB, 32KB, 64KB, 128KB.
+    EXPECT_EQ(impls[1].clusterCacheBytes(), 32u << 10);
+    EXPECT_EQ(impls[2].clusterCacheBytes(), 64u << 10);
+    EXPECT_EQ(impls[3].clusterCacheBytes(), 128u << 10);
+}
+
+TEST(Implementations, McmBlocksNeedMcm)
+{
+    EXPECT_FALSE(oneProcChip().mcm);
+    EXPECT_FALSE(twoProcChip().mcm);
+    EXPECT_TRUE(fourProcBuildingBlock().mcm);
+    EXPECT_TRUE(eightProcBuildingBlock().mcm);
+    EXPECT_TRUE(eightProcBuildingBlock().c4Pads);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the debug-trace flag facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        debug::clearFlags();
+        debug::setStream(nullptr);
+    }
+};
+
+TEST_F(DebugTest, FlagsStartDisabled)
+{
+    for (auto *flag : debug::allFlags())
+        EXPECT_FALSE(flag->enabled()) << flag->name();
+}
+
+TEST_F(DebugTest, KnownFlagsAreRegistered)
+{
+    for (const char *name :
+         {"Cache", "Coherence", "Bus", "Exec", "Sched"}) {
+        ASSERT_NE(debug::findFlag(name), nullptr) << name;
+    }
+    EXPECT_EQ(debug::findFlag("NoSuchFlag"), nullptr);
+}
+
+TEST_F(DebugTest, EnableListTogglesExactlyThose)
+{
+    debug::enableFlags("Cache,Bus");
+    EXPECT_TRUE(debug::Cache.enabled());
+    EXPECT_TRUE(debug::Bus.enabled());
+    EXPECT_FALSE(debug::Exec.enabled());
+    debug::clearFlags();
+    EXPECT_FALSE(debug::Cache.enabled());
+}
+
+TEST_F(DebugTest, DprintfWritesOnlyWhenEnabled)
+{
+    std::ostringstream os;
+    debug::setStream(&os);
+
+    DPRINTF(Cache, "hidden ", 1);
+    EXPECT_TRUE(os.str().empty());
+
+    debug::enableFlags("Cache");
+    DPRINTF(Cache, "visible ", 42);
+    EXPECT_NE(os.str().find("Cache: visible 42"),
+              std::string::npos);
+}
+
+TEST_F(DebugTest, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(debug::enableFlags("Cache,Tpyo"),
+                ::testing::ExitedWithCode(1),
+                "unknown debug flag");
+}
+
+} // namespace

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the direct-execution engine: timestamp-ordered
+ * scheduling, instruction accounting, locks, barriers and the
+ * self-scheduling counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/engine.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/** Memory that records access order and applies fixed latencies. */
+class RecordingMemory : public MemorySystem
+{
+  public:
+    struct Event
+    {
+        CpuId cpu;
+        RefType type;
+        Addr addr;
+        Cycle when;
+    };
+
+    explicit RecordingMemory(Cycle latency = 0) : _latency(latency)
+    {
+    }
+
+    Cycle
+    access(CpuId cpu, RefType type, Addr addr, Cycle now,
+           std::uint32_t) override
+    {
+        events.push_back({cpu, type, addr, now});
+        return now + _latency;
+    }
+
+    std::vector<Event> events;
+
+  private:
+    Cycle _latency;
+};
+
+TEST(Engine, InterleavesByTimestamp)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    auto *data = arena.alloc<Shared<int>>(4);
+
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+        engine.spawn(cpu, [data, cpu](ThreadCtx &ctx) {
+            for (int i = 0; i < 10; ++i)
+                data[cpu].ld(ctx);
+        });
+    }
+    engine.run();
+
+    // With zero latency and equal costs, accesses must strictly
+    // alternate between the two equal-speed threads.
+    ASSERT_EQ(memory.events.size(), 20u);
+    Cycle previous = 0;
+    for (const auto &event : memory.events) {
+        EXPECT_GE(event.when, previous);
+        previous = event.when;
+    }
+}
+
+TEST(Engine, WorkAdvancesClock)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 12);
+    Engine engine(&memory, &arena, EngineOptions{});
+    auto *data = arena.alloc<Shared<int>>();
+
+    engine.spawn(0, [data](ThreadCtx &ctx) {
+        ctx.work(100);
+        data->ld(ctx);
+    });
+    engine.run();
+
+    ASSERT_EQ(memory.events.size(), 1u);
+    // 100 work instructions + the load's own issue cycle.
+    EXPECT_EQ(memory.events[0].when, 101u);
+    EXPECT_EQ(engine.statsOf(0).instructions, 101u);
+    EXPECT_EQ(engine.statsOf(0).loads, 1u);
+}
+
+TEST(Engine, SlowThreadIsPrioritized)
+{
+    // Thread 0 stalls 100 cycles on every access (latency), so
+    // thread 1 should issue many references per thread-0 access.
+    class SplitMemory : public MemorySystem
+    {
+      public:
+        Cycle
+        access(CpuId cpu, RefType, Addr, Cycle now,
+               std::uint32_t) override
+        {
+            order.push_back(cpu);
+            return cpu == 0 ? now + 100 : now;
+        }
+        std::vector<CpuId> order;
+    };
+
+    SplitMemory memory;
+    Arena arena(1 << 12);
+    Engine engine(&memory, &arena, EngineOptions{});
+    auto *data = arena.alloc<Shared<int>>(2);
+
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+        engine.spawn(cpu, [data, cpu](ThreadCtx &ctx) {
+            for (int i = 0; i < 50; ++i)
+                data[cpu].ld(ctx);
+        });
+    }
+    engine.run();
+    // Thread 1 finishes long before thread 0.
+    EXPECT_LT(engine.statsOf(1).finishTime,
+              engine.statsOf(0).finishTime);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        RecordingMemory memory(5);
+        Arena arena(1 << 16);
+        Engine engine(&memory, &arena, EngineOptions{});
+        auto *data = arena.alloc<Shared<int>>(64);
+        SimLock *lock = new SimLock(arena);
+        for (CpuId cpu = 0; cpu < 4; ++cpu) {
+            engine.spawn(cpu, [&, cpu](ThreadCtx &ctx) {
+                for (int i = 0; i < 200; ++i) {
+                    ctx.lock(*lock);
+                    data[(i + cpu) % 64].rmw(
+                        ctx, [](int v) { return v + 1; });
+                    ctx.unlock(*lock);
+                }
+            });
+        }
+        engine.run();
+        Cycle t = engine.finishTime();
+        delete lock;
+        return t;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, LockProvidesMutualExclusion)
+{
+    RecordingMemory memory(20);
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    auto *counter = arena.alloc<Shared<int>>();
+    SimLock lock(arena);
+
+    // Unprotected RMW with 4 threads would lose updates because
+    // threads yield between the load and the store on misses;
+    // the lock must serialize the critical sections.
+    for (CpuId cpu = 0; cpu < 4; ++cpu) {
+        engine.spawn(cpu, [&](ThreadCtx &ctx) {
+            for (int i = 0; i < 100; ++i) {
+                ctx.lock(lock);
+                counter->rmw(ctx, [](int v) { return v + 1; });
+                ctx.unlock(lock);
+            }
+        });
+    }
+    engine.run();
+    EXPECT_EQ(counter->raw(), 400);
+}
+
+TEST(Engine, BarrierSynchronizesAll)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    SimBarrier barrier(arena, 3);
+    auto *data = arena.alloc<Shared<int>>();
+    std::vector<Cycle> afterBarrier(3, 0);
+
+    for (CpuId cpu = 0; cpu < 3; ++cpu) {
+        engine.spawn(cpu, [&, cpu](ThreadCtx &ctx) {
+            // Unequal pre-barrier work.
+            ctx.work((std::uint64_t)(cpu + 1) * 1000);
+            data->ld(ctx);
+            ctx.barrier(barrier);
+            afterBarrier[(std::size_t)cpu] =
+                engine.timeOf((ThreadId)cpu);
+        });
+    }
+    engine.run();
+
+    // Nobody proceeds before the slowest arrival (~3000 cycles).
+    for (Cycle t : afterBarrier)
+        EXPECT_GE(t, 3000u);
+}
+
+TEST(Engine, BarrierIsReusable)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    SimBarrier barrier(arena, 2);
+    int rounds = 0;
+
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+        engine.spawn(cpu, [&](ThreadCtx &ctx) {
+            for (int r = 0; r < 10; ++r) {
+                ctx.work(10);
+                ctx.barrier(barrier);
+                if (ctx.tid() == 0)
+                    ++rounds;
+            }
+        });
+    }
+    engine.run();
+    EXPECT_EQ(rounds, 10);
+}
+
+TEST(Engine, TaskCounterDistributesAllTasks)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    TaskCounter counter(arena, 100);
+    std::vector<int> claimed(100, 0);
+
+    for (CpuId cpu = 0; cpu < 4; ++cpu) {
+        engine.spawn(cpu, [&](ThreadCtx &ctx) {
+            for (;;) {
+                std::int64_t task = counter.next(ctx);
+                if (task < 0)
+                    break;
+                ++claimed[(std::size_t)task];
+            }
+        });
+    }
+    engine.run();
+    for (int count : claimed)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, TaskCounterChunksCoverRange)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    TaskCounter counter(arena, 37);
+    std::vector<int> claimed(37, 0);
+
+    for (CpuId cpu = 0; cpu < 3; ++cpu) {
+        engine.spawn(cpu, [&](ThreadCtx &ctx) {
+            for (;;) {
+                std::int64_t first = counter.nextChunk(ctx, 5);
+                if (first < 0)
+                    break;
+                std::int64_t last =
+                    std::min<std::int64_t>(first + 5, 37);
+                for (std::int64_t t = first; t < last; ++t)
+                    ++claimed[(std::size_t)t];
+            }
+        });
+    }
+    engine.run();
+    for (int count : claimed)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, PolicyCanTimeSlice)
+{
+    /** Block a thread after its clock passes 500 cycles, wake the
+     *  other — a miniature round-robin. */
+    class TinyScheduler : public SchedulerPolicy
+    {
+      public:
+        void
+        onStart(Engine &engine) override
+        {
+            engine.blockThread(1);
+        }
+        void
+        afterRef(Engine &engine, ThreadId tid) override
+        {
+            ThreadId other = 1 - tid;
+            if (!switched && engine.timeOf(tid) > 500 &&
+                engine.blocked(other)) {
+                switched = true;
+                engine.blockThread(tid);
+                engine.wakeThread(other,
+                                  engine.timeOf(tid) + 50);
+            }
+        }
+        void
+        onThreadDone(Engine &engine, ThreadId tid) override
+        {
+            // Release anyone still blocked.
+            for (ThreadId t = 0; t < engine.numThreads(); ++t) {
+                if (t != tid && !engine.done(t) &&
+                    engine.blocked(t)) {
+                    engine.wakeThread(t, engine.timeOf(tid));
+                }
+            }
+        }
+        bool switched = false;
+    };
+
+    RecordingMemory memory;
+    Arena arena(1 << 16);
+    Engine engine(&memory, &arena, EngineOptions{});
+    TinyScheduler policy;
+    engine.setPolicy(&policy);
+    auto *data = arena.alloc<Shared<int>>(2);
+
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+        engine.spawn(0, [data, cpu](ThreadCtx &ctx) {
+            for (int i = 0; i < 2000; ++i)
+                data[cpu].ld(ctx);
+        });
+    }
+    engine.run();
+    EXPECT_TRUE(policy.switched);
+    EXPECT_TRUE(engine.done(0));
+    EXPECT_TRUE(engine.done(1));
+}
+
+TEST(EngineDeath, DeadlockIsDetected)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 12);
+    Engine engine(&memory, &arena, EngineOptions{});
+    SimBarrier barrier(arena, 2);  // second arrival never comes
+
+    engine.spawn(0,
+                 [&](ThreadCtx &ctx) { ctx.barrier(barrier); });
+    EXPECT_DEATH(engine.run(), "deadlock");
+}
+
+TEST(EngineDeath, UnlockWithoutOwnership)
+{
+    RecordingMemory memory;
+    Arena arena(1 << 12);
+    Engine engine(&memory, &arena, EngineOptions{});
+    SimLock lock(arena);
+    engine.spawn(0, [&](ThreadCtx &ctx) { ctx.unlock(lock); });
+    EXPECT_DEATH(engine.run(), "releasing a lock");
+}
+
+} // namespace

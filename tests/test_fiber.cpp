@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the stackful fiber substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/fiber.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+TEST(Fiber, RunsToCompletion)
+{
+    int value = 0;
+    Fiber fiber([&value] { value = 42; });
+    EXPECT_FALSE(fiber.finished());
+    fiber.resume();
+    EXPECT_TRUE(fiber.finished());
+    EXPECT_EQ(value, 42);
+}
+
+TEST(Fiber, YieldRoundTrips)
+{
+    std::vector<int> trace;
+    Fiber fiber([&trace] {
+        trace.push_back(1);
+        Fiber::yieldToCaller();
+        trace.push_back(3);
+        Fiber::yieldToCaller();
+        trace.push_back(5);
+    });
+    fiber.resume();
+    trace.push_back(2);
+    fiber.resume();
+    trace.push_back(4);
+    fiber.resume();
+    EXPECT_TRUE(fiber.finished());
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksExecution)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber *seen = nullptr;
+    Fiber fiber([&seen] { seen = Fiber::current(); });
+    fiber.resume();
+    EXPECT_EQ(seen, &fiber);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ManyFibersInterleave)
+{
+    constexpr int numFibers = 16;
+    constexpr int rounds = 100;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    std::vector<int> counts(numFibers, 0);
+    for (int i = 0; i < numFibers; ++i) {
+        fibers.push_back(std::make_unique<Fiber>([&counts, i] {
+            for (int r = 0; r < rounds; ++r) {
+                ++counts[(std::size_t)i];
+                Fiber::yieldToCaller();
+            }
+        }));
+    }
+    bool live = true;
+    while (live) {
+        live = false;
+        for (auto &fiber : fibers) {
+            if (!fiber->finished()) {
+                fiber->resume();
+                live = live || !fiber->finished();
+            }
+        }
+    }
+    for (int count : counts)
+        EXPECT_EQ(count, rounds);
+}
+
+TEST(Fiber, DeepRecursionOnFiberStack)
+{
+    // Exercise a few hundred KB of fiber stack, like an octree
+    // traversal would.
+    struct Recurse
+    {
+        static int
+        down(int n)
+        {
+            char pad[512];
+            pad[0] = (char)n;
+            if (n == 0)
+                return pad[0];
+            return down(n - 1) + (pad[0] ? 1 : 1);
+        }
+    };
+    int result = -1;
+    Fiber fiber([&result] { result = Recurse::down(400); },
+                512 * 1024);
+    fiber.resume();
+    EXPECT_EQ(result, 400);
+}
+
+TEST(Fiber, SwitchThroughputIsSane)
+{
+    // The whole engine depends on cheap switches; make sure a
+    // round trip is well under a microsecond-scale budget by
+    // doing a million of them in this test without timing out.
+    std::uint64_t count = 0;
+    Fiber fiber([&count] {
+        for (;;) {
+            ++count;
+            Fiber::yieldToCaller();
+        }
+    });
+    for (int i = 0; i < 1000000; ++i)
+        fiber.resume();
+    EXPECT_EQ(count, 1000000u);
+}
+
+TEST(FiberDeath, ResumingFinishedFiberPanics)
+{
+    Fiber fiber([] {});
+    fiber.resume();
+    EXPECT_DEATH(fiber.resume(), "finished fiber");
+}
+
+TEST(FiberDeath, YieldOutsideFiberPanics)
+{
+    EXPECT_DEATH(Fiber::yieldToCaller(), "outside any fiber");
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the MP3D workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_run.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace
+{
+
+using namespace scmp;
+using splash::Mp3d;
+using splash::Mp3dParams;
+
+Mp3dParams
+smallParams()
+{
+    Mp3dParams params;
+    params.nparticles = 1500;
+    params.steps = 3;
+    return params;
+}
+
+TEST(Mp3d, RunsAndVerifies)
+{
+    Mp3d mp3d(smallParams());
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    auto result = runParallel(config, mp3d);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GT(result.references, 50000u);
+}
+
+TEST(Mp3d, CollisionsHappen)
+{
+    Mp3d mp3d(smallParams());
+    Arena arena(32ull << 20);
+    MachineConfig config;
+    config.cpusPerCluster = 4;
+    runParallel(config, mp3d, &arena);
+    EXPECT_GT(mp3d.totalCollisions(), 100);
+}
+
+TEST(Mp3d, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Mp3d mp3d(smallParams());
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        return runParallel(config, mp3d).cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Mp3d, InvalidationTrafficIndependentOfClusterWidth)
+{
+    // The paper's key MP3D result: adding processors to a cluster
+    // leaves inter-cluster invalidation traffic nearly unchanged.
+    auto invalidations = [](int procs) {
+        Mp3dParams params;
+        params.nparticles = 3000;
+        params.steps = 3;
+        Mp3d mp3d(params);
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        config.scc.sizeBytes = 256 << 10;
+        return (double)runParallel(config, mp3d).invalidations;
+    };
+    double inv1 = invalidations(1);
+    double inv8 = invalidations(8);
+    EXPECT_LT(inv8, 1.3 * inv1);
+    EXPECT_GT(inv8, 0.5 * inv1);
+}
+
+TEST(Mp3d, LargeCacheScalesBetterThanSmall)
+{
+    Mp3dParams params;
+    params.nparticles = 3000;
+    params.steps = 3;
+    auto speedup = [&](std::uint64_t scc) {
+        auto time = [&](int procs) {
+            Mp3d mp3d(params);
+            MachineConfig config;
+            config.cpusPerCluster = procs;
+            config.scc.sizeBytes = scc;
+            return (double)runParallel(config, mp3d).cycles;
+        };
+        return time(1) / time(8);
+    };
+    EXPECT_GT(speedup(512 << 10), speedup(4 << 10));
+}
+
+TEST(Mp3d, ParticlesStayInBounds)
+{
+    Mp3dParams params = smallParams();
+    Mp3d mp3d(params);
+    Arena arena(32ull << 20);
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    auto result = runParallel(config, mp3d, &arena);
+    // verify() already checks bounds; it must have passed.
+    EXPECT_TRUE(result.verified);
+}
+
+TEST(Mp3d, RejectsDegenerateGrid)
+{
+    Mp3dParams params;
+    params.gridX = 1;
+    EXPECT_EXIT(Mp3d{params}, ::testing::ExitedWithCode(1),
+                "at least 2x2x2");
+}
+
+} // namespace

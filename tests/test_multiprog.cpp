@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the multiprogramming round-robin scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multiprog/scheduler.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+MultiprogParams
+smallRun(std::uint64_t refs = 400'000)
+{
+    MultiprogParams params;
+    params.totalRefs = refs;
+    params.quantum = 100'000;  // small quantum: many switches
+    return params;
+}
+
+TEST(Multiprog, RunsAllProcessesToBudget)
+{
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    auto result = runMultiprog(config, spec::makeSpecWorkload(),
+                               smallRun());
+    EXPECT_TRUE(result.verified);
+    EXPECT_GE(result.references, 400'000u);
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(Multiprog, TimeSlicesWithSmallQuantum)
+{
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    auto result = runMultiprog(config, spec::makeSpecWorkload(),
+                               smallRun());
+    // 8 processes on 2 processors with a quantum much shorter
+    // than the run must rotate many times.
+    EXPECT_GT(result.contextSwitches, 10u);
+}
+
+TEST(Multiprog, NoPreemptionWhenProcessorsCoverProcesses)
+{
+    MachineConfig config;
+    config.cpusPerCluster = 8;
+    auto result = runMultiprog(config, spec::makeSpecWorkload(),
+                               smallRun());
+    // Every process owns a processor; the ready queue stays
+    // empty, so nobody is ever preempted.
+    EXPECT_EQ(result.contextSwitches, 0u);
+}
+
+TEST(Multiprog, MoreProcessorsImproveMakespan)
+{
+    auto makespan = [](int procs) {
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        return runMultiprog(config, spec::makeSpecWorkload(),
+                            smallRun(800'000))
+            .cycles;
+    };
+    Cycle t1 = makespan(1);
+    Cycle t4 = makespan(4);
+    EXPECT_LT(t4, t1);
+    EXPECT_GT((double)t1 / (double)t4, 1.5);
+}
+
+TEST(Multiprog, SharedCacheInterferenceRaisesMissRate)
+{
+    auto missRate = [](int procs) {
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        config.scc.sizeBytes = 64 << 10;
+        return runMultiprog(config, spec::makeSpecWorkload(),
+                            smallRun(800'000))
+            .readMissRate;
+    };
+    EXPECT_GT(missRate(8), missRate(1));
+}
+
+TEST(Multiprog, BiggerCacheReducesMissRate)
+{
+    auto missRate = [](std::uint64_t scc) {
+        MachineConfig config;
+        config.cpusPerCluster = 4;
+        config.scc.sizeBytes = scc;
+        return runMultiprog(config, spec::makeSpecWorkload(),
+                            smallRun(800'000))
+            .readMissRate;
+    };
+    EXPECT_GT(missRate(4 << 10), missRate(512 << 10));
+}
+
+TEST(Multiprog, IcacheSeesContextSwitches)
+{
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    config.icache.enabled = true;
+    auto result = runMultiprog(config, spec::makeSpecWorkload(),
+                               smallRun());
+    EXPECT_GT(result.icacheMissRate, 0.0);
+}
+
+TEST(Multiprog, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        MachineConfig config;
+        config.cpusPerCluster = 3;  // uneven on purpose
+        return runMultiprog(config, spec::makeSpecWorkload(),
+                            smallRun())
+            .cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Multiprog, UnevenProcessorCountsWork)
+{
+    for (int procs : {3, 5, 7}) {
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        auto result = runMultiprog(
+            config, spec::makeSpecWorkload(), smallRun());
+        EXPECT_TRUE(result.verified) << "procs=" << procs;
+    }
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the two cluster organizations (shared cluster cache
+ * vs private per-processor caches) and the paper's invalidation
+ * claim as an executable property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_run.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+TEST(Organization, PrivateBuildsOneCachePerProcessor)
+{
+    MachineConfig config;
+    config.numClusters = 4;
+    config.cpusPerCluster = 4;
+    config.organization = ClusterOrganization::PrivateCaches;
+    Machine machine(config);
+    EXPECT_EQ(machine.numCaches(), 16);
+
+    MachineConfig shared = config;
+    shared.organization = ClusterOrganization::SharedCache;
+    Machine sharedMachine(shared);
+    EXPECT_EQ(sharedMachine.numCaches(), 4);
+}
+
+TEST(Organization, PrivateCachesDoNotShareFills)
+{
+    MachineConfig config;
+    config.numClusters = 1;
+    config.cpusPerCluster = 2;
+    config.organization = ClusterOrganization::PrivateCaches;
+    Machine machine(config);
+
+    // CPU 0 fetches a line; CPU 1 touching it later must miss in
+    // its own cache (a bus transfer), unlike the shared SCC where
+    // it would hit.
+    Cycle done0 = machine.access(0, RefType::Read, 0x1000, 0, 1);
+    Cycle done1 =
+        machine.access(1, RefType::Read, 0x1000, done0 + 10, 1);
+    EXPECT_GT(done1 - (done0 + 10), 50u) << "expected a miss";
+
+    MachineConfig shared = config;
+    shared.organization = ClusterOrganization::SharedCache;
+    Machine sharedMachine(shared);
+    done0 = sharedMachine.access(0, RefType::Read, 0x1000, 0, 1);
+    done1 = sharedMachine.access(1, RefType::Read, 0x1000,
+                                 done0 + 10, 1);
+    EXPECT_EQ(done1, done0 + 10) << "expected a shared-cache hit";
+}
+
+TEST(Organization, IntraClusterWriteSharingCostsOnlyWhenPrivate)
+{
+    // Two CPUs of the SAME cluster ping-pong writes on one line.
+    auto invalidations = [](ClusterOrganization organization) {
+        MachineConfig config;
+        config.numClusters = 1;
+        config.cpusPerCluster = 2;
+        config.organization = organization;
+        Machine machine(config);
+        Cycle now = 0;
+        for (int i = 0; i < 20; ++i) {
+            machine.access(i % 2, RefType::Write, 0x2000, now, 1);
+            now += 500;
+        }
+        return machine.invalidations();
+    };
+    EXPECT_EQ(invalidations(ClusterOrganization::SharedCache), 0u);
+    EXPECT_GT(invalidations(ClusterOrganization::PrivateCaches),
+              10u);
+}
+
+TEST(Organization, PrivateCacheSizeOverride)
+{
+    MachineConfig config;
+    config.numClusters = 1;
+    config.cpusPerCluster = 2;
+    config.organization = ClusterOrganization::PrivateCaches;
+    config.scc.sizeBytes = 64 << 10;
+    config.privateCacheBytes = 8 << 10;
+    Machine machine(config);
+    EXPECT_EQ(machine.cacheOf(1).params().sizeBytes, 8u << 10);
+}
+
+TEST(Organization, InvalidationClaimHoldsOnMp3d)
+{
+    // The paper's core claim as a property: growing a cluster
+    // leaves shared-organization invalidations nearly unchanged,
+    // while the private organization's grow markedly.
+    auto run = [](ClusterOrganization organization, int procs) {
+        splash::Mp3dParams params;
+        params.nparticles = 2000;
+        params.steps = 2;
+        splash::Mp3d mp3d(params);
+        MachineConfig config;
+        config.cpusPerCluster = procs;
+        config.scc.sizeBytes = 64 << 10;
+        config.organization = organization;
+        return (double)runParallel(config, mp3d).invalidations;
+    };
+    double shared1 = run(ClusterOrganization::SharedCache, 1);
+    double shared8 = run(ClusterOrganization::SharedCache, 8);
+    double priv8 = run(ClusterOrganization::PrivateCaches, 8);
+    EXPECT_LT(shared8, 1.4 * shared1);
+    EXPECT_GT(priv8, 1.5 * shared8);
+}
+
+TEST(Organization, WorkloadsVerifyOnPrivateCaches)
+{
+    splash::Mp3dParams params;
+    params.nparticles = 1000;
+    params.steps = 2;
+    splash::Mp3d mp3d(params);
+    MachineConfig config;
+    config.cpusPerCluster = 4;
+    config.organization = ClusterOrganization::PrivateCaches;
+    auto result = runParallel(config, mp3d);
+    EXPECT_TRUE(result.verified);
+}
+
+} // namespace

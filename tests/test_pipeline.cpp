@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the five-stage pipeline model and instruction mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/pipeline.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+TEST(Pipeline, BaselineIsUnity)
+{
+    for (auto mix : {InstrMix::barnes(), InstrMix::mp3d(),
+                     InstrMix::cholesky(),
+                     InstrMix::multiprogramming()}) {
+        EXPECT_DOUBLE_EQ(Pipeline::relativeTime(mix, 2, 100000),
+                         1.0);
+    }
+}
+
+TEST(Pipeline, MonotoneInLoadLatency)
+{
+    auto mix = InstrMix::barnes();
+    double t2 = Pipeline::relativeTime(mix, 2, 300000);
+    double t3 = Pipeline::relativeTime(mix, 3, 300000);
+    double t4 = Pipeline::relativeTime(mix, 4, 300000);
+    EXPECT_LT(t2, t3);
+    EXPECT_LT(t3, t4);
+}
+
+TEST(Pipeline, NoLoadsMeansNoLoadStalls)
+{
+    InstrMix mix;
+    mix.name = "pure-alu";
+    mix.loadFraction = 0;
+    mix.storeFraction = 0;
+    mix.branchFraction = 0;
+    PipelineParams params;
+    params.loadLatency = 4;
+    auto result = Pipeline(params).run(mix, 10000, 3);
+    EXPECT_EQ(result.loadStallCycles, 0u);
+    EXPECT_EQ(result.cycles, 10000u);
+    EXPECT_DOUBLE_EQ(result.cpi(), 1.0);
+}
+
+TEST(Pipeline, CpiAtLeastOne)
+{
+    for (auto mix : {InstrMix::barnes(), InstrMix::mp3d(),
+                     InstrMix::cholesky(),
+                     InstrMix::multiprogramming()}) {
+        for (int latency : {2, 3, 4}) {
+            PipelineParams params;
+            params.loadLatency = latency;
+            auto result = Pipeline(params).run(mix, 50000, 9);
+            EXPECT_GE(result.cpi(), 1.0);
+            EXPECT_LT(result.cpi(), 2.0);
+        }
+    }
+}
+
+TEST(Pipeline, DeterministicForSeed)
+{
+    auto mix = InstrMix::mp3d();
+    Pipeline pipeline(PipelineParams{});
+    EXPECT_EQ(pipeline.run(mix, 100000, 5).cycles,
+              pipeline.run(mix, 100000, 5).cycles);
+    EXPECT_NE(pipeline.run(mix, 100000, 5).cycles,
+              pipeline.run(mix, 100000, 6).cycles);
+}
+
+TEST(Pipeline, Table5FactorsInPaperRange)
+{
+    // The paper's Table 5: 1.06-1.08 at 3 cycles, 1.13-1.17 at 4.
+    for (auto mix : {InstrMix::barnes(), InstrMix::mp3d(),
+                     InstrMix::cholesky(),
+                     InstrMix::multiprogramming()}) {
+        double f3 = Pipeline::relativeTime(mix, 3, 500000);
+        double f4 = Pipeline::relativeTime(mix, 4, 500000);
+        EXPECT_GE(f3, 1.04) << mix.name;
+        EXPECT_LE(f3, 1.10) << mix.name;
+        EXPECT_GE(f4, 1.11) << mix.name;
+        EXPECT_LE(f4, 1.19) << mix.name;
+    }
+}
+
+TEST(Pipeline, BranchBubblesAccumulate)
+{
+    InstrMix mix;
+    mix.name = "branchy";
+    mix.loadFraction = 0;
+    mix.storeFraction = 0;
+    mix.branchFraction = 0.5;
+    mix.useDistance = {0, 0, 0, 0, 0};
+    PipelineParams params;
+    params.branchMissFraction = 1.0;
+    auto result = Pipeline(params).run(mix, 10000, 3);
+    EXPECT_GT(result.branchStallCycles, 3000u);
+}
+
+TEST(InstrMix, FromCountsScalesFractions)
+{
+    auto base = InstrMix::barnes();
+    auto mix = InstrMix::fromCounts("measured", 250, 100, 1000,
+                                    base);
+    EXPECT_EQ(mix.name, "measured");
+    EXPECT_DOUBLE_EQ(mix.loadFraction, 0.25);
+    EXPECT_DOUBLE_EQ(mix.storeFraction, 0.10);
+    EXPECT_DOUBLE_EQ(mix.branchFraction, base.branchFraction);
+    EXPECT_EQ(mix.useDistance, base.useDistance);
+}
+
+TEST(InstrMix, FromCountsFeedsPipeline)
+{
+    auto mix = InstrMix::fromCounts("m", 3000, 1000, 10000,
+                                    InstrMix::mp3d());
+    double f3 = Pipeline::relativeTime(mix, 3, 200000);
+    EXPECT_GT(f3, 1.0);
+    EXPECT_LT(f3, 1.2);
+}
+
+TEST(InstrMixDeath, FromCountsRejectsNonsense)
+{
+    auto base = InstrMix::barnes();
+    EXPECT_EXIT(InstrMix::fromCounts("z", 1, 1, 0, base),
+                ::testing::ExitedWithCode(1), "no instructions");
+    EXPECT_EXIT(InstrMix::fromCounts("z", 900, 900, 1000, base),
+                ::testing::ExitedWithCode(1),
+                "more references");
+}
+
+TEST(InstrMixDeath, BadFractionsAreFatal)
+{
+    InstrMix mix;
+    mix.loadFraction = 0.9;
+    mix.storeFraction = 0.9;
+    EXPECT_EXIT(mix.check(), ::testing::ExitedWithCode(1),
+                "fractions out of range");
+
+    InstrMix heavy;
+    heavy.useDistance = {0.5, 0.5, 0.5, 0.5, 0.5};
+    EXPECT_EXIT(heavy.check(), ::testing::ExitedWithCode(1),
+                "mass exceeds");
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng rng(55);
+    std::uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(55);
+    EXPECT_EQ(rng.next(), first);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedTest, RangeStaysInBounds)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.range(17), 17u);
+        auto v = rng.rangeClosed(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST_P(RngSeedTest, UniformInUnitInterval)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedTest, NormalMoments)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    double sumSq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST_P(RngSeedTest, ExponentialMean)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.exponential(2.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(1ull, 42ull,
+                                           0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+} // namespace

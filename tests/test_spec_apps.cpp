@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the eight SPEC92-class mini-applications: each runs
+ * on the engine, makes progress, and passes its own correctness
+ * oracle (LZW round-trip, truth-table ordering, N-queens count,
+ * spreadsheet recomputation, stack-machine evaluation, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/machine.hh"
+#include "workloads/spec/spec_app.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/**
+ * Run an app alone on one simulated processor for N iterates.
+ * The caller owns the arena so the app's data stays alive for
+ * post-run verification.
+ */
+std::uint64_t
+runApp(spec::SpecApp &app, Arena &arena, int iterations,
+       Cycle *cyclesOut = nullptr)
+{
+    MachineConfig config;
+    config.numClusters = 1;
+    config.cpusPerCluster = 1;
+    Machine machine(config);
+    Engine engine(&machine, &arena, EngineOptions{});
+
+    app.setup(arena);
+    engine.spawn(0, [&](ThreadCtx &ctx) {
+        for (int i = 0; i < iterations; ++i)
+            app.iterate(ctx);
+    });
+    engine.run();
+    if (cyclesOut)
+        *cyclesOut = engine.finishTime();
+    return engine.totalRefs();
+}
+
+struct AppCase
+{
+    const char *name;
+    std::function<std::unique_ptr<spec::SpecApp>()> make;
+    int iterations;
+};
+
+class SpecAppTest : public ::testing::TestWithParam<AppCase>
+{
+};
+
+TEST_P(SpecAppTest, RunsProgressesAndVerifies)
+{
+    auto app = GetParam().make();
+    EXPECT_EQ(app->name(), GetParam().name);
+    EXPECT_GT(app->codeBytes(), 0u);
+
+    Arena arena(64ull << 20);
+    std::uint64_t refs =
+        runApp(*app, arena, GetParam().iterations);
+    EXPECT_GT(refs, 1000u) << "app produced too few references";
+    EXPECT_EQ(app->iterations(),
+              (std::uint64_t)GetParam().iterations);
+    EXPECT_TRUE(app->verify());
+}
+
+TEST_P(SpecAppTest, DeterministicAcrossRuns)
+{
+    Cycle first = 0;
+    Cycle second = 0;
+    {
+        Arena arena(64ull << 20);
+        auto app = GetParam().make();
+        runApp(*app, arena, 2, &first);
+    }
+    {
+        Arena arena(64ull << 20);
+        auto app = GetParam().make();
+        runApp(*app, arena, 2, &second);
+    }
+    EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SpecAppTest,
+    ::testing::Values(
+        AppCase{"sc", [] { return spec::makeSc(1); }, 3},
+        AppCase{"espresso", [] { return spec::makeEspresso(2); },
+                4},
+        AppCase{"eqntott", [] { return spec::makeEqntott(3); },
+                2},
+        AppCase{"xlisp", [] { return spec::makeXlisp(4); }, 9},
+        AppCase{"compress", [] { return spec::makeCompress(5); },
+                3},
+        AppCase{"gcc", [] { return spec::makeGcc(6); }, 40},
+        AppCase{"spice", [] { return spec::makeSpice(7); }, 3},
+        AppCase{"wave5", [] { return spec::makeWave5(8); }, 3}),
+    [](const ::testing::TestParamInfo<AppCase> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(SpecWorkload, FactoryBuildsTableTwo)
+{
+    auto apps = spec::makeSpecWorkload();
+    ASSERT_EQ(apps.size(), 8u);
+    EXPECT_EQ(apps[0]->name(), "sc");
+    EXPECT_EQ(apps[4]->name(), "compress");
+    EXPECT_EQ(apps[7]->name(), "wave5");
+}
+
+TEST(SpecWorkload, CodeFootprintsAreDistinct)
+{
+    // gcc must have by far the largest text, compress the
+    // smallest — the icache model depends on the spread.
+    auto apps = spec::makeSpecWorkload();
+    std::uint64_t gcc = 0;
+    std::uint64_t compress = 0;
+    for (auto &app : apps) {
+        if (app->name() == "gcc")
+            gcc = app->codeBytes();
+        if (app->name() == "compress")
+            compress = app->codeBytes();
+    }
+    EXPECT_GT(gcc, 4 * compress);
+}
+
+TEST(SpecApps, VerifyIsMeaningful)
+{
+    // verify() must be a real oracle: it passes before any run
+    // (vacuously) and still passes after different amounts of
+    // work, i.e. it checks invariants rather than a golden value.
+    auto app = spec::makeCompress(123);
+    EXPECT_TRUE(app->verify());
+    Arena arena(64ull << 20);
+    runApp(*app, arena, 1);
+    EXPECT_TRUE(app->verify());
+    Arena arena2(64ull << 20);
+    runApp(*app, arena2, 1);  // fresh setup over a fresh arena
+    EXPECT_TRUE(app->verify());
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace scmp::stats;
+
+TEST(Stats, ScalarArithmetic)
+{
+    Group root("root");
+    Scalar counter(&root, "counter", "a counter");
+    ++counter;
+    counter += 4.5;
+    EXPECT_DOUBLE_EQ(counter.value(), 5.5);
+    counter = 2.0;
+    EXPECT_DOUBLE_EQ(counter.value(), 2.0);
+    counter.reset();
+    EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMean)
+{
+    Group root("root");
+    Average avg(&root, "avg", "an average");
+    EXPECT_DOUBLE_EQ(avg.value(), 0.0);
+    avg.sample(10);
+    avg.sample(20);
+    avg.sample(30);
+    EXPECT_DOUBLE_EQ(avg.value(), 20.0);
+    EXPECT_EQ(avg.count(), 3u);
+}
+
+TEST(Stats, DistributionBucketsAndMoments)
+{
+    Group root("root");
+    Distribution dist(&root, "dist", "a histogram", 0, 100, 10);
+    dist.sample(5);
+    dist.sample(15);
+    dist.sample(15);
+    dist.sample(-1);    // underflow
+    dist.sample(1000);  // overflow
+    EXPECT_EQ(dist.samples(), 5u);
+    EXPECT_EQ(dist.bucket(0), 1u);
+    EXPECT_EQ(dist.bucket(1), 2u);
+    EXPECT_EQ(dist.underflow(), 1u);
+    EXPECT_EQ(dist.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(dist.minSample(), -1);
+    EXPECT_DOUBLE_EQ(dist.maxSample(), 1000);
+    EXPECT_GT(dist.stddev(), 0.0);
+
+    dist.reset();
+    EXPECT_EQ(dist.samples(), 0u);
+    EXPECT_EQ(dist.bucket(0), 0u);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    Group root("root");
+    Distribution dist(&root, "dist", "hist", 0, 10, 5);
+    dist.sample(1, 10);
+    EXPECT_EQ(dist.samples(), 10u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    Group root("root");
+    Scalar hits(&root, "hits", "hits");
+    Scalar misses(&root, "misses", "misses");
+    Formula rate(&root, "rate", "miss rate", [&] {
+        double total = hits.value() + misses.value();
+        return total > 0 ? misses.value() / total : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(rate.value(), 0.0);
+    hits += 9;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.1);
+}
+
+TEST(Stats, GroupHierarchyAndLookup)
+{
+    Group root("system");
+    Group child(&root, "cluster0");
+    Group grandchild(&child, "scc");
+    Scalar misses(&grandchild, "misses", "misses");
+    misses += 7;
+
+    EXPECT_EQ(grandchild.path(), "system.cluster0.scc");
+    EXPECT_DOUBLE_EQ(root.lookup("cluster0.scc.misses"), 7.0);
+    EXPECT_EQ(root.find("cluster0.scc.nothing"), nullptr);
+    EXPECT_EQ(root.find("bogus.path"), nullptr);
+
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(misses.value(), 0.0);
+}
+
+TEST(Stats, DumpFormatsAllStats)
+{
+    Group root("sys");
+    Scalar s(&root, "counter", "counts things");
+    Group sub(&root, "sub");
+    Scalar t(&sub, "other", "other things");
+    s += 3;
+    t += 4;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sys.counter"), std::string::npos);
+    EXPECT_NE(os.str().find("sys.sub.other"), std::string::npos);
+    EXPECT_NE(os.str().find("counts things"), std::string::npos);
+}
+
+TEST(StatsDeath, DuplicateNameInGroup)
+{
+    Group root("root");
+    Scalar first(&root, "dup", "first");
+    EXPECT_DEATH(Scalar(&root, "dup", "second"),
+                 "duplicate statistic");
+}
+
+TEST(StatsDeath, LookupMissingStat)
+{
+    Group root("root");
+    EXPECT_DEATH(root.lookup("no.such.stat"), "no statistic");
+}
+
+} // namespace

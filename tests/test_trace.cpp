@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the trace record/replay substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/parallel_run.hh"
+#include "trace/trace.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Trace, WriteReadRoundTrip)
+{
+    std::string path = tempPath("roundtrip.trace");
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 100; ++i) {
+            TraceRecord record;
+            record.addr = 0x1000 + (Addr)i * 16;
+            record.gap = (std::uint32_t)i;
+            record.cpu = (std::uint16_t)(i % 4);
+            record.type = (std::uint8_t)(
+                i % 2 ? RefType::Write : RefType::Read);
+            writer.append(record);
+        }
+        EXPECT_EQ(writer.recordsWritten(), 100u);
+    }
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.size(), 100u);
+    TraceRecord record;
+    int i = 0;
+    while (reader.next(record)) {
+        EXPECT_EQ(record.addr, 0x1000 + (Addr)i * 16);
+        EXPECT_EQ(record.gap, (std::uint32_t)i);
+        EXPECT_EQ(record.cpu, i % 4);
+        ++i;
+    }
+    EXPECT_EQ(i, 100);
+
+    reader.rewind();
+    EXPECT_TRUE(reader.next(record));
+    EXPECT_EQ(record.addr, 0x1000u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, TracingMemoryIsTransparent)
+{
+    // A run under TracingMemory must produce exactly the same
+    // timing as the undecorated run, plus a trace whose length is
+    // the run's reference count.
+    splash::Mp3dParams params;
+    params.nparticles = 500;
+    params.steps = 1;
+
+    Cycle plainCycles;
+    std::uint64_t plainRefs;
+    {
+        splash::Mp3d mp3d(params);
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        auto result = runParallel(config, mp3d);
+        plainCycles = result.cycles;
+        plainRefs = result.references;
+    }
+
+    std::string path = tempPath("transparent.trace");
+    Cycle tracedCycles;
+    std::uint64_t written;
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        Machine machine(config);
+        TraceWriter writer(path);
+        TracingMemory tracer(&machine, &writer);
+        Arena arena(config.arenaBytes);
+        Engine engine(&tracer, &arena, config.engine);
+
+        splash::Mp3d mp3d(params);
+        Topology topo{config.numClusters, config.cpusPerCluster};
+        mp3d.setup(arena, topo);
+        for (CpuId cpu = 0; cpu < topo.totalCpus(); ++cpu) {
+            engine.spawn(cpu, [&, cpu](ThreadCtx &ctx) {
+                mp3d.threadMain(ctx, cpu, topo);
+            });
+        }
+        engine.run();
+        tracedCycles = engine.finishTime();
+        written = writer.recordsWritten();
+    }
+    EXPECT_EQ(tracedCycles, plainCycles);
+    EXPECT_EQ(written, plainRefs);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayReproducesMissCounts)
+{
+    // Replaying a trace against the same machine configuration
+    // must reproduce the recorded run's cache behaviour (the
+    // reference stream and its interleaving are identical).
+    splash::Mp3dParams params;
+    params.nparticles = 500;
+    params.steps = 1;
+    std::string path = tempPath("replay.trace");
+
+    double directMissRate;
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        Machine machine(config);
+        TraceWriter writer(path);
+        TracingMemory tracer(&machine, &writer);
+        Arena arena(config.arenaBytes);
+        Engine engine(&tracer, &arena, config.engine);
+
+        splash::Mp3d mp3d(params);
+        Topology topo{config.numClusters, config.cpusPerCluster};
+        mp3d.setup(arena, topo);
+        for (CpuId cpu = 0; cpu < topo.totalCpus(); ++cpu) {
+            engine.spawn(cpu, [&, cpu](ThreadCtx &ctx) {
+                mp3d.threadMain(ctx, cpu, topo);
+            });
+        }
+        engine.run();
+        directMissRate = machine.readMissRate();
+    }
+
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    Machine machine(config);
+    TraceReader reader(path);
+    auto result = replayTrace(machine, reader);
+    // Replay feeds references in global record order rather than
+    // per-cpu timestamp order, so allow a small discrepancy.
+    EXPECT_NEAR(result.readMissRate, directMissRate,
+                0.1 * directMissRate + 1e-4);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplaySweepShrinksMissRateWithCache)
+{
+    splash::Mp3dParams params;
+    params.nparticles = 800;
+    params.steps = 1;
+    std::string path = tempPath("sweep.trace");
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        Machine machine(config);
+        TraceWriter writer(path);
+        TracingMemory tracer(&machine, &writer);
+        Arena arena(config.arenaBytes);
+        Engine engine(&tracer, &arena, config.engine);
+        splash::Mp3d mp3d(params);
+        Topology topo{config.numClusters, config.cpusPerCluster};
+        mp3d.setup(arena, topo);
+        for (CpuId cpu = 0; cpu < topo.totalCpus(); ++cpu) {
+            engine.spawn(cpu, [&, cpu](ThreadCtx &ctx) {
+                mp3d.threadMain(ctx, cpu, topo);
+            });
+        }
+        engine.run();
+    }
+
+    double small;
+    double large;
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        config.scc.sizeBytes = 4 << 10;
+        Machine machine(config);
+        TraceReader reader(path);
+        small = replayTrace(machine, reader).readMissRate;
+    }
+    {
+        MachineConfig config;
+        config.cpusPerCluster = 2;
+        config.scc.sizeBytes = 512 << 10;
+        Machine machine(config);
+        TraceReader reader(path);
+        large = replayTrace(machine, reader).readMissRate;
+    }
+    EXPECT_GT(small, large);
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, RejectsGarbageFiles)
+{
+    std::string path = tempPath("garbage.trace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "not an scmp trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, RejectsMissingFile)
+{
+    EXPECT_EXIT(TraceReader reader("/nonexistent/nope.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceDeath, ReplayRejectsWiderTraceThanMachine)
+{
+    std::string path = tempPath("wide.trace");
+    {
+        TraceWriter writer(path);
+        TraceRecord record;
+        record.cpu = 9;  // needs >= 10 cpus
+        writer.append(record);
+    }
+    MachineConfig config;
+    config.numClusters = 1;
+    config.cpusPerCluster = 2;
+    Machine machine(config);
+    TraceReader reader(path);
+    EXPECT_EXIT(replayTrace(machine, reader),
+                ::testing::ExitedWithCode(1), "exceeds");
+    std::remove(path.c_str());
+}
+
+} // namespace
