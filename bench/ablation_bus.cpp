@@ -21,7 +21,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     const Cycle occupancies[] = {1, 4, 8, 16, 32};
 

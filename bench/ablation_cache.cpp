@@ -23,7 +23,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     {
         Table table("Ablation: SCC line size (MP3D, 4 clusters x "

@@ -24,7 +24,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     struct WorkloadSpec
     {

@@ -21,7 +21,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     for (Cycle addressOccupancy : {Cycle(1), Cycle(8)}) {
         Table table(

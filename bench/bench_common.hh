@@ -8,6 +8,12 @@
  *   --csv          also emit tables as CSV
  *   --sizes=...    override the SCC size axis
  *   --procs=...    override the processors-per-cluster axis
+ *   --jobs=N       sweep design points on N host threads
+ *                  (0 = one per hardware thread; default serial)
+ *   --results=FILE persist each design point to a JSON-lines store
+ *   --resume       skip points already present in --results
+ *   --stats        attach per-point hierarchical stats to the store
+ *   --progress     per-point progress with wall time and ETA
  */
 
 #ifndef SCMP_BENCH_COMMON_HH
@@ -24,6 +30,7 @@
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
+#include "sweep/sweep.hh"
 #include "workloads/spec/spec_app.hh"
 #include "workloads/splash/barnes.hh"
 #include "workloads/splash/cholesky.hh"
@@ -47,8 +54,21 @@ struct BenchOptions
     bool csv = false;
     std::vector<std::uint64_t> sccSizes;
     std::vector<int> clusterSizes;
+    sweep::SweepOptions sweep;
     Config config;
 };
+
+/** Tag mixed into result-store keys so scales never collide. */
+inline const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Quick: return "quick";
+      case Scale::Default: return "default";
+      case Scale::Full: return "full";
+    }
+    return "default";
+}
 
 inline std::vector<std::uint64_t>
 parseSizeList(const std::string &text)
@@ -96,6 +116,25 @@ parseBenchArgs(int argc, char **argv)
     } else {
         options.clusterSizes = DesignSpace::paperClusterSizes();
     }
+
+    // Sweep execution knobs: every DesignSpace::sweep call in this
+    // binary runs through the executor with these settings.
+    options.sweep.jobs = (int)options.config.getInt("jobs", 1);
+    options.sweep.resultsPath =
+        options.config.getString("results", "");
+    options.sweep.resume = options.config.getBool("resume", false);
+    options.sweep.attachStats =
+        options.config.getBool("stats", false);
+    options.sweep.verbose =
+        options.config.getBool("progress", false);
+    options.sweep.scale = scaleName(options.scale);
+    fatal_if(options.sweep.resume &&
+                 options.sweep.resultsPath.empty(),
+             "--resume needs --results=FILE");
+    sweep::setDefaultSweepOptions(options.sweep);
+    // Benches print tables, not logs — but --progress asks for the
+    // per-point telemetry, so only quiet the run without it.
+    setLogQuiet(!options.sweep.verbose);
     return options;
 }
 

@@ -17,7 +17,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     auto points = DesignSpace::sweep(
         bench::mp3dFactory(options), MachineConfig{},

@@ -19,7 +19,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     auto points = DesignSpace::sweep(
         bench::choleskyFactory(options), MachineConfig{},

@@ -19,7 +19,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     Table table("Figure 5: multiprogramming normalized execution "
                 "time (1P/4KB = 100)");

@@ -18,7 +18,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     Table table("Figure 6: multiprogramming self-relative speedup "
                 "(vs 1 proc at the same SCC size)");

@@ -20,7 +20,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     // The paper's Table 4 uses exactly these three sizes.
     if (!options.config.has("sizes"))

@@ -19,7 +19,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     std::uint64_t instructions =
         options.scale == bench::Scale::Quick ? 200'000 : 2'000'000;

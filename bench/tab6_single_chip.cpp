@@ -35,7 +35,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     cost::AreaModel area;
     cost::TimingModel timing;

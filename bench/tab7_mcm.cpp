@@ -36,7 +36,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     const ConfigSpec specs[] = {
         {"2 Procs/32KB", 2, 32ull << 10, 3},

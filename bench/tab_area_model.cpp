@@ -22,7 +22,6 @@ main(int argc, char **argv)
 {
     using namespace scmp;
     auto options = bench::parseBenchArgs(argc, argv);
-    setLogQuiet(true);
 
     cost::AreaModel model;
     cost::TimingModel timing;

@@ -7,6 +7,12 @@
  * Usage:
  *   design_space [barnes|mp3d|cholesky]
  *                [--quick] [--sizes=4K,64K,512K] [--procs=1,2,4,8]
+ *                [--jobs=N] [--results=FILE] [--resume] [--stats]
+ *
+ * --jobs=N runs N design points concurrently (0 = one job per
+ * hardware thread); --results persists every completed point to a
+ * JSON-lines store and --resume skips points already in it, so an
+ * interrupted paper-scale sweep restarts where it stopped.
  */
 
 #include <cstdio>
@@ -15,6 +21,7 @@
 
 #include "core/design_space.hh"
 #include "sim/config.hh"
+#include "sweep/sweep.hh"
 #include "workloads/splash/barnes.hh"
 #include "workloads/splash/cholesky.hh"
 #include "workloads/splash/mp3d.hh"
@@ -100,6 +107,17 @@ main(int argc, char **argv)
         fatal("unknown workload '", which,
               "' (want barnes, mp3d or cholesky)");
     }
+
+    scmp::sweep::SweepOptions sweepOptions;
+    sweepOptions.jobs = (int)config.getInt("jobs", 1);
+    sweepOptions.resultsPath = config.getString("results", "");
+    sweepOptions.resume = config.getBool("resume", false);
+    sweepOptions.attachStats = config.getBool("stats", false);
+    sweepOptions.scale = quick ? "quick" : "default";
+    sweepOptions.verbose = true;
+    if (sweepOptions.resume && sweepOptions.resultsPath.empty())
+        fatal("--resume needs --results=FILE");
+    scmp::sweep::setDefaultSweepOptions(sweepOptions);
 
     scmp::MachineConfig base;
     auto points =

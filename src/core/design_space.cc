@@ -18,47 +18,53 @@ DesignSpace::paperClusterSizes()
     return {1, 2, 4, 8};
 }
 
-std::vector<DesignPoint>
-DesignSpace::sweep(const WorkloadFactory &factory, MachineConfig base,
-                   const std::vector<std::uint64_t> &sccSizes,
-                   const std::vector<int> &clusterSizes, bool verbose)
-{
-    std::vector<DesignPoint> points;
-    for (int procs : clusterSizes) {
-        for (std::uint64_t size : sccSizes) {
-            MachineConfig config = base;
-            config.cpusPerCluster = procs;
-            config.scc.sizeBytes = size;
+// DesignSpace::sweep is defined in src/sweep/sweep.cc so that the
+// core library does not depend on the host-parallel executor.
 
-            auto workload = factory();
-            DesignPoint point;
-            point.cpusPerCluster = procs;
-            point.sccBytes = size;
-            point.result = runParallel(config, *workload);
-            if (verbose) {
-                inform(workload->name(), ": ", procs, "P/cluster ",
-                       sizeString(size), " -> ",
-                       point.result.cycles, " cycles, rdMiss=",
-                       point.result.readMissRate);
-            }
-            points.push_back(point);
-        }
-    }
-    return points;
+std::uint64_t
+DesignGrid::coordKey(int cpusPerCluster, std::uint64_t sccBytes)
+{
+    panic_if(cpusPerCluster < 0 || cpusPerCluster >= (1 << 16),
+             "cpusPerCluster ", cpusPerCluster,
+             " out of key range");
+    panic_if(sccBytes >= (1ull << 48),
+             "SCC size ", sccBytes, " out of key range");
+    return ((std::uint64_t)cpusPerCluster << 48) | sccBytes;
+}
+
+DesignGrid::DesignGrid(std::vector<DesignPoint> points)
+{
+    for (auto &point : points)
+        add(std::move(point));
+}
+
+void
+DesignGrid::add(DesignPoint point)
+{
+    std::uint64_t key =
+        coordKey(point.cpusPerCluster, point.sccBytes);
+    auto [it, inserted] = _index.emplace(key, _points.size());
+    panic_if(!inserted, "duplicate design point ",
+             point.cpusPerCluster, "P/", sizeString(point.sccBytes));
+    _points.push_back(std::move(point));
+}
+
+const DesignPoint *
+DesignGrid::tryAt(int cpusPerCluster, std::uint64_t sccBytes) const
+{
+    auto it = _index.find(coordKey(cpusPerCluster, sccBytes));
+    return it == _index.end() ? nullptr : &_points[it->second];
 }
 
 const DesignPoint &
-DesignSpace::at(const std::vector<DesignPoint> &points,
-                int cpusPerCluster, std::uint64_t sccBytes)
+DesignGrid::at(int cpusPerCluster, std::uint64_t sccBytes) const
 {
-    for (const auto &point : points) {
-        if (point.cpusPerCluster == cpusPerCluster &&
-            point.sccBytes == sccBytes) {
-            return point;
-        }
+    const DesignPoint *point = tryAt(cpusPerCluster, sccBytes);
+    if (!point) {
+        panic("design point ", cpusPerCluster, "P/",
+              sizeString(sccBytes), " not in sweep results");
     }
-    panic("design point ", cpusPerCluster, "P/",
-          sizeString(sccBytes), " not in sweep results");
+    return *point;
 }
 
 namespace
@@ -79,19 +85,19 @@ axisHeader(const std::vector<int> &clusterSizes)
 
 Table
 DesignSpace::normalizedTimeTable(
-    const std::string &title, const std::vector<DesignPoint> &points,
+    const std::string &title, const DesignGrid &grid,
     const std::vector<std::uint64_t> &sccSizes,
     const std::vector<int> &clusterSizes)
 {
     Table table(title);
     table.setHeader(axisHeader(clusterSizes));
     double base =
-        (double)at(points, clusterSizes.front(), sccSizes.front())
+        (double)grid.at(clusterSizes.front(), sccSizes.front())
             .result.cycles;
     for (std::uint64_t size : sccSizes) {
         std::vector<std::string> row{sizeString(size)};
         for (int procs : clusterSizes) {
-            double t = (double)at(points, procs, size).result.cycles;
+            double t = (double)grid.at(procs, size).result.cycles;
             row.push_back(Table::cell(100.0 * t / base, 1));
         }
         table.addRow(row);
@@ -101,7 +107,7 @@ DesignSpace::normalizedTimeTable(
 
 Table
 DesignSpace::speedupTable(const std::string &title,
-                          const std::vector<DesignPoint> &points,
+                          const DesignGrid &grid,
                           const std::vector<std::uint64_t> &sccSizes,
                           const std::vector<int> &clusterSizes)
 {
@@ -109,9 +115,9 @@ DesignSpace::speedupTable(const std::string &title,
     table.setHeader(axisHeader(clusterSizes));
     for (std::uint64_t size : sccSizes) {
         std::vector<std::string> row{sizeString(size)};
-        double base = (double)at(points, 1, size).result.cycles;
+        double base = (double)grid.at(1, size).result.cycles;
         for (int procs : clusterSizes) {
-            double t = (double)at(points, procs, size).result.cycles;
+            double t = (double)grid.at(procs, size).result.cycles;
             row.push_back(Table::cell(base / t, 1));
         }
         table.addRow(row);
@@ -121,7 +127,7 @@ DesignSpace::speedupTable(const std::string &title,
 
 Table
 DesignSpace::missRateTable(const std::string &title,
-                           const std::vector<DesignPoint> &points,
+                           const DesignGrid &grid,
                            const std::vector<std::uint64_t> &sccSizes,
                            const std::vector<int> &clusterSizes)
 {
@@ -134,7 +140,7 @@ DesignSpace::missRateTable(const std::string &title,
         std::vector<std::string> row{std::to_string(procs)};
         for (std::uint64_t size : sccSizes) {
             row.push_back(Table::percentCell(
-                at(points, procs, size).result.readMissRate));
+                grid.at(procs, size).result.readMissRate));
         }
         table.addRow(row);
     }
@@ -143,7 +149,7 @@ DesignSpace::missRateTable(const std::string &title,
 
 Table
 DesignSpace::invalidationTable(
-    const std::string &title, const std::vector<DesignPoint> &points,
+    const std::string &title, const DesignGrid &grid,
     const std::vector<std::uint64_t> &sccSizes,
     const std::vector<int> &clusterSizes)
 {
@@ -156,7 +162,7 @@ DesignSpace::invalidationTable(
         std::vector<std::string> row{std::to_string(procs)};
         for (std::uint64_t size : sccSizes) {
             row.push_back(Table::cell(
-                at(points, procs, size).result.invalidations));
+                grid.at(procs, size).result.invalidations));
         }
         table.addRow(row);
     }

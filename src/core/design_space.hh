@@ -5,6 +5,11 @@
  * Runs a workload across {processors per cluster} x {SCC size},
  * producing the grids behind the paper's Figures 2–4 and Tables
  * 3–4, plus normalization and speedup views over those grids.
+ *
+ * The sweep itself executes through the src/sweep/ subsystem (a
+ * host-parallel executor with a persistent result store);
+ * DesignSpace::sweep is declared here but defined in scmp_sweep,
+ * so targets that sweep must link that library.
  */
 
 #ifndef SCMP_CORE_DESIGN_SPACE_HH
@@ -12,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/parallel_run.hh"
@@ -28,6 +34,52 @@ struct DesignPoint
     RunResult result;
 };
 
+/**
+ * A completed sweep: the evaluated points plus an index that makes
+ * grid lookup O(1) (the table builders look points up once per
+ * cell, so a linear scan made table construction quadratic).
+ */
+class DesignGrid
+{
+  public:
+    DesignGrid() = default;
+    explicit DesignGrid(std::vector<DesignPoint> points);
+
+    /** Append one point; panics on a duplicate grid coordinate. */
+    void add(DesignPoint point);
+
+    /** O(1) lookup; panics if the point is absent. */
+    const DesignPoint &at(int cpusPerCluster,
+                          std::uint64_t sccBytes) const;
+
+    /** O(1) lookup; nullptr if the point is absent. */
+    const DesignPoint *tryAt(int cpusPerCluster,
+                             std::uint64_t sccBytes) const;
+
+    /// @name Container views (points in sweep order).
+    /// @{
+    const std::vector<DesignPoint> &points() const
+    {
+        return _points;
+    }
+    std::size_t size() const { return _points.size(); }
+    bool empty() const { return _points.empty(); }
+    const DesignPoint &operator[](std::size_t i) const
+    {
+        return _points[i];
+    }
+    auto begin() const { return _points.begin(); }
+    auto end() const { return _points.end(); }
+    /// @}
+
+  private:
+    static std::uint64_t coordKey(int cpusPerCluster,
+                                  std::uint64_t sccBytes);
+
+    std::vector<DesignPoint> _points;
+    std::unordered_map<std::uint64_t, std::size_t> _index;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -42,8 +94,11 @@ class DesignSpace
     static std::vector<int> paperClusterSizes();
 
     /**
-     * Run the full grid. A fresh workload instance is created per
-     * point so state never leaks between runs.
+     * Run the full grid through the sweep executor, honouring the
+     * process-wide sweep options (--jobs/--results/--resume; see
+     * sweep/sweep.hh). A fresh workload instance is created per
+     * point so state never leaks between runs. Defined in
+     * scmp_sweep.
      *
      * @param factory Creates the workload for each point.
      * @param base    Machine configuration template; the sweep
@@ -52,16 +107,11 @@ class DesignSpace
      * @param clusterSizes processors-per-cluster axis.
      * @param verbose  inform() progress per point.
      */
-    static std::vector<DesignPoint>
+    static DesignGrid
     sweep(const WorkloadFactory &factory, MachineConfig base,
           const std::vector<std::uint64_t> &sccSizes,
           const std::vector<int> &clusterSizes,
           bool verbose = false);
-
-    /** Find a point in a sweep result; panics if absent. */
-    static const DesignPoint &
-    at(const std::vector<DesignPoint> &points, int cpusPerCluster,
-       std::uint64_t sccBytes);
 
     /**
      * Figure 2/3/4 view: normalized execution time, one row per
@@ -69,8 +119,7 @@ class DesignSpace
      * so the (1 processor per cluster, smallest SCC) point is 100.
      */
     static Table normalizedTimeTable(
-        const std::string &title,
-        const std::vector<DesignPoint> &points,
+        const std::string &title, const DesignGrid &grid,
         const std::vector<std::uint64_t> &sccSizes,
         const std::vector<int> &clusterSizes);
 
@@ -79,8 +128,7 @@ class DesignSpace
      * processor per cluster at the same SCC size.
      */
     static Table speedupTable(
-        const std::string &title,
-        const std::vector<DesignPoint> &points,
+        const std::string &title, const DesignGrid &grid,
         const std::vector<std::uint64_t> &sccSizes,
         const std::vector<int> &clusterSizes);
 
@@ -89,15 +137,13 @@ class DesignSpace
      * per cluster size.
      */
     static Table missRateTable(
-        const std::string &title,
-        const std::vector<DesignPoint> &points,
+        const std::string &title, const DesignGrid &grid,
         const std::vector<std::uint64_t> &sccSizes,
         const std::vector<int> &clusterSizes);
 
     /** Invalidation counts (the paper's clustering claim). */
     static Table invalidationTable(
-        const std::string &title,
-        const std::vector<DesignPoint> &points,
+        const std::string &title, const DesignGrid &grid,
         const std::vector<std::uint64_t> &sccSizes,
         const std::vector<int> &clusterSizes);
 };

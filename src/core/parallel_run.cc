@@ -7,7 +7,8 @@ namespace scmp
 
 RunResult
 runParallel(const MachineConfig &config, ParallelWorkload &workload,
-            Arena *externalArena, std::ostream *statsDump)
+            Arena *externalArena, std::ostream *statsDump,
+            std::ostream *statsJsonDump)
 {
     Machine machine(config);
     std::unique_ptr<Arena> owned;
@@ -43,6 +44,8 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
         machine.bus().utilization(result.cycles);
     if (statsDump)
         machine.statsRoot().dump(*statsDump);
+    if (statsJsonDump)
+        machine.statsRoot().dumpJson(*statsJsonDump);
     result.verified = workload.verify();
     if (!result.verified) {
         warn("workload '", workload.name(),

@@ -40,11 +40,15 @@ struct RunResult
  * @param statsDump Optional stream; when set, the machine's full
  *              hierarchical statistics tree is dumped to it after
  *              the run.
+ * @param statsJsonDump Optional stream; when set, the same tree is
+ *              dumped as JSON (stats::Group::dumpJson) so it can be
+ *              attached to sweep result-store records.
  */
 RunResult runParallel(const MachineConfig &config,
                       ParallelWorkload &workload,
                       Arena *arena = nullptr,
-                      std::ostream *statsDump = nullptr);
+                      std::ostream *statsDump = nullptr,
+                      std::ostream *statsJsonDump = nullptr);
 
 } // namespace scmp
 

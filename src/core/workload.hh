@@ -11,6 +11,7 @@
 #ifndef SCMP_CORE_WORKLOAD_HH
 #define SCMP_CORE_WORKLOAD_HH
 
+#include <cstdint>
 #include <string>
 
 #include "exec/arena.hh"
@@ -43,6 +44,21 @@ class ParallelWorkload
 
     /** Short name for tables and logs. */
     virtual std::string name() const = 0;
+
+    /**
+     * Deterministic per-point seed, called by the sweep executor
+     * before setup() with the design point's stable configuration
+     * hash (sweep/point_key.hh). The default keeps the workload's
+     * own seed: a grid sweep compares machine configurations over
+     * an IDENTICAL input, so the paper workloads must not vary
+     * their input with the machine config. Synthetic/stochastic
+     * workloads that want decorrelated per-point streams override
+     * this; implementations must be pure (same seed → same run).
+     */
+    virtual void reseed(std::uint64_t pointSeed)
+    {
+        (void)pointSeed;
+    }
 
     /**
      * Allocate and initialize shared data. Runs host-side (not

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "logging.hh"
@@ -22,6 +23,49 @@ Stat::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(46) << (prefix + _name) << " "
        << std::right << std::setw(14) << value() << "   # " << _desc
        << "\n";
+}
+
+namespace
+{
+
+/**
+ * Local JSON helpers (the sim library sits below the sweep
+ * library's JSON module, so it carries its own minimal escapes).
+ */
+
+void
+printJsonString(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if ((unsigned char)c < 0x20)
+            os << ' ';  // stat names never contain control chars
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+void
+printJsonNumber(std::ostream &os, double value)
+{
+    if (!std::isfinite(value)) {
+        os << "null";  // JSON cannot express nan/inf
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+}
+
+} // namespace
+
+void
+Stat::printJson(std::ostream &os) const
+{
+    printJsonNumber(os, value());
 }
 
 Distribution::Distribution(Group *parent, std::string name,
@@ -103,6 +147,22 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(46)
        << (prefix + name() + "::stddev") << " " << std::right
        << std::setw(14) << stddev() << "   # standard deviation\n";
+}
+
+void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":";
+    printJsonNumber(os, mean());
+    os << ",\"stddev\":";
+    printJsonNumber(os, stddev());
+    os << ",\"samples\":" << _samples;
+    os << ",\"min\":";
+    printJsonNumber(os, _minSample);
+    os << ",\"max\":";
+    printJsonNumber(os, _maxSample);
+    os << ",\"underflow\":" << _underflow;
+    os << ",\"overflow\":" << _overflow << "}";
 }
 
 Formula::Formula(Group *parent, std::string name, std::string desc,
@@ -208,6 +268,30 @@ Group::dump(std::ostream &os) const
         stat->print(os, prefix);
     for (const auto *child : _children)
         child->dump(os);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto *stat : _stats) {
+        if (!first)
+            os << ',';
+        first = false;
+        printJsonString(os, stat->name());
+        os << ':';
+        stat->printJson(os);
+    }
+    for (const auto *child : _children) {
+        if (!first)
+            os << ',';
+        first = false;
+        printJsonString(os, child->name());
+        os << ':';
+        child->dumpJson(os);
+    }
+    os << '}';
 }
 
 } // namespace scmp::stats

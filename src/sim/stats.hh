@@ -46,6 +46,13 @@ class Stat
     virtual void print(std::ostream &os,
                        const std::string &prefix) const;
 
+    /**
+     * Emit this statistic's value as one JSON value (scalars print
+     * a number; distributions an object of their moments).
+     * Non-finite values become null.
+     */
+    virtual void printJson(std::ostream &os) const;
+
   private:
     std::string _name;
     std::string _desc;
@@ -120,6 +127,7 @@ class Distribution : public Stat
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     double _min;
@@ -188,6 +196,15 @@ class Group
 
     /** Dump "path value # desc" lines for the whole subtree. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump the subtree as one JSON object: each statistic becomes
+     * a member (distributions become objects of their moments) and
+     * each child group a nested object. Machine-readable companion
+     * to dump(), used to attach per-point statistics to sweep
+     * result-store records.
+     */
+    void dumpJson(std::ostream &os) const;
 
     const std::vector<Stat *> &localStats() const { return _stats; }
     const std::vector<Group *> &children() const { return _children; }

@@ -1,0 +1,102 @@
+#include "point_key.hh"
+
+#include <charconv>
+#include <cstdio>
+
+namespace scmp::sweep
+{
+
+KeyHasher &
+KeyHasher::mix(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        _hash ^= (value >> (8 * i)) & 0xff;
+        _hash *= prime;
+    }
+    return *this;
+}
+
+KeyHasher &
+KeyHasher::mix(std::string_view text)
+{
+    // Length first so {"ab","c"} and {"a","bc"} hash differently.
+    mix((std::uint64_t)text.size());
+    for (char c : text) {
+        _hash ^= (unsigned char)c;
+        _hash *= prime;
+    }
+    return *this;
+}
+
+std::uint64_t
+hashMachineConfig(const MachineConfig &config)
+{
+    KeyHasher h;
+    h.mix((std::uint64_t)config.numClusters);
+    h.mix((std::uint64_t)config.cpusPerCluster);
+    h.mix((std::uint64_t)config.organization);
+    h.mix(config.privateCacheBytes);
+
+    const SccParams &scc = config.scc;
+    h.mix(scc.sizeBytes);
+    h.mix(scc.lineBytes);
+    h.mix(scc.assoc);
+    h.mix(scc.banksPerCpu);
+    h.mix(scc.bankOccupancy);
+    h.mix((std::uint64_t)scc.stallOnUpgrade);
+    h.mix((std::uint64_t)scc.protocol);
+
+    const BusParams &bus = config.bus;
+    h.mix(bus.memoryLatency);
+    h.mix(bus.transferOccupancy);
+    h.mix(bus.addressOccupancy);
+
+    const ICacheParams &icache = config.icache;
+    h.mix((std::uint64_t)icache.enabled);
+    h.mix(icache.sizeBytes);
+    h.mix(icache.lineBytes);
+    h.mix(icache.bytesPerInstr);
+
+    const EngineOptions &engine = config.engine;
+    h.mix((std::uint64_t)engine.slackWindow);
+    h.mix((std::uint64_t)engine.yieldLatency);
+    h.mix((std::uint64_t)engine.stackBytes);
+    h.mix(engine.barrierOverhead);
+    h.mix(engine.contextSwitchCost);
+
+    h.mix((std::uint64_t)config.arenaBytes);
+    return h.value();
+}
+
+std::uint64_t
+pointKey(const MachineConfig &config, std::string_view workload,
+         std::string_view scale)
+{
+    KeyHasher h;
+    h.mix(hashMachineConfig(config));
+    h.mix(workload);
+    h.mix(scale);
+    return h.value();
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+bool
+parseKeyHex(const std::string &text, std::uint64_t &key)
+{
+    if (text.size() != 16)
+        return false;
+    auto res = std::from_chars(text.data(),
+                               text.data() + text.size(), key, 16);
+    return res.ec == std::errc() &&
+           res.ptr == text.data() + text.size();
+}
+
+} // namespace scmp::sweep

@@ -1,0 +1,267 @@
+#include "result_store.hh"
+
+#include <unistd.h>
+
+#include "sim/logging.hh"
+#include "sweep/json.hh"
+#include "sweep/point_key.hh"
+
+namespace scmp::sweep
+{
+
+namespace
+{
+
+/** Schema version; bump when the record layout changes. */
+constexpr std::uint64_t storeVersion = 1;
+
+} // namespace
+
+ResultStore::~ResultStore()
+{
+    close();
+}
+
+std::string
+ResultStore::serialize(const StoredPoint &point)
+{
+    // Hand-assembled so field order is stable and human-scannable:
+    // identity first, then the result payload.
+    std::string out = "{\"v\":" + std::to_string(storeVersion);
+    out += ",\"key\":" + jsonQuote(keyHex(point.key));
+    out += ",\"workload\":" + jsonQuote(point.workload);
+    out += ",\"scale\":" + jsonQuote(point.scale);
+    out += ",\"procs\":" + std::to_string(point.cpusPerCluster);
+    out += ",\"scc\":" + std::to_string(point.sccBytes);
+    out += ",\"wallMs\":" + jsonNumber(point.wallMs);
+
+    const RunResult &r = point.result;
+    out += ",\"result\":{";
+    out += "\"cycles\":" + std::to_string(r.cycles);
+    out += ",\"instructions\":" + std::to_string(r.instructions);
+    out += ",\"references\":" + std::to_string(r.references);
+    out += ",\"readMissRate\":" + jsonNumber(r.readMissRate);
+    out += ",\"missRate\":" + jsonNumber(r.missRate);
+    out += ",\"invalidations\":" + std::to_string(r.invalidations);
+    out += ",\"busTransactions\":" +
+           std::to_string(r.busTransactions);
+    out += ",\"busUtilization\":" + jsonNumber(r.busUtilization);
+    out += std::string(",\"verified\":") +
+           (r.verified ? "true" : "false");
+    out += "}";
+
+    if (!point.statsJson.empty())
+        out += ",\"stats\":" + point.statsJson;
+    out += "}";
+    return out;
+}
+
+bool
+ResultStore::deserialize(const std::string &line, StoredPoint &point,
+                         std::string *error)
+{
+    Json doc;
+    if (!Json::parse(line, doc, error))
+        return false;
+
+    auto missing = [&](const char *field) {
+        if (error)
+            *error = std::string("missing field '") + field + "'";
+        return false;
+    };
+
+    const Json *v = doc.find("v");
+    if (!v)
+        return missing("v");
+    if (v->asU64() != storeVersion) {
+        if (error) {
+            *error = "unsupported record version " +
+                     std::to_string(v->asU64());
+        }
+        return false;
+    }
+
+    const Json *key = doc.find("key");
+    if (!key)
+        return missing("key");
+    if (!parseKeyHex(key->asString(), point.key)) {
+        if (error)
+            *error = "malformed key '" + key->asString() + "'";
+        return false;
+    }
+
+    const Json *workload = doc.find("workload");
+    const Json *scale = doc.find("scale");
+    const Json *procs = doc.find("procs");
+    const Json *scc = doc.find("scc");
+    const Json *wallMs = doc.find("wallMs");
+    const Json *result = doc.find("result");
+    if (!workload)
+        return missing("workload");
+    if (!scale)
+        return missing("scale");
+    if (!procs)
+        return missing("procs");
+    if (!scc)
+        return missing("scc");
+    if (!wallMs)
+        return missing("wallMs");
+    if (!result)
+        return missing("result");
+
+    point.workload = workload->asString();
+    point.scale = scale->asString();
+    point.cpusPerCluster = (int)procs->asU64();
+    point.sccBytes = scc->asU64();
+    point.wallMs = wallMs->asDouble();
+
+    RunResult &r = point.result;
+    struct FieldU64
+    {
+        const char *name;
+        std::uint64_t *slot;
+    } u64Fields[] = {
+        {"cycles", &r.cycles},
+        {"instructions", &r.instructions},
+        {"references", &r.references},
+        {"invalidations", &r.invalidations},
+        {"busTransactions", &r.busTransactions},
+    };
+    for (const auto &field : u64Fields) {
+        const Json *value = result->find(field.name);
+        if (!value)
+            return missing(field.name);
+        *field.slot = value->asU64();
+    }
+    struct FieldDouble
+    {
+        const char *name;
+        double *slot;
+    } doubleFields[] = {
+        {"readMissRate", &r.readMissRate},
+        {"missRate", &r.missRate},
+        {"busUtilization", &r.busUtilization},
+    };
+    for (const auto &field : doubleFields) {
+        const Json *value = result->find(field.name);
+        if (!value)
+            return missing(field.name);
+        *field.slot = value->asDouble();
+    }
+    const Json *verified = result->find("verified");
+    if (!verified)
+        return missing("verified");
+    r.verified = verified->asBool();
+
+    const Json *stats = doc.find("stats");
+    point.statsJson = stats ? stats->dump() : "";
+    return true;
+}
+
+void
+ResultStore::open(const std::string &path, bool loadExisting)
+{
+    panic_if(_file, "result store is already open");
+    _path = path;
+
+    long keepBytes = 0;
+    if (loadExisting) {
+        if (std::FILE *in = std::fopen(path.c_str(), "rb")) {
+            std::string line;
+            std::size_t lineNo = 0;
+            for (;;) {
+                int c = std::fgetc(in);
+                if (c != EOF && c != '\n') {
+                    line.push_back((char)c);
+                    continue;
+                }
+                bool atEof = (c == EOF);
+                ++lineNo;
+                if (line.empty()) {
+                    // Blank line (or clean end of file).
+                    keepBytes = std::ftell(in);
+                    if (atEof)
+                        break;
+                    line.clear();
+                    continue;
+                }
+                StoredPoint point;
+                std::string error;
+                if (deserialize(line, point, &error)) {
+                    _records[point.key] = std::move(point);
+                    keepBytes = std::ftell(in);
+                    if (atEof)
+                        break;
+                } else if (atEof) {
+                    // A newline-less partial final line is what a
+                    // killed run leaves behind: drop it and let the
+                    // sweep recompute that point.
+                    warn("results file '", path, "': discarding ",
+                         "partial final record (line ", lineNo,
+                         ", ", error, ")");
+                    break;
+                } else {
+                    fatal("results file '", path, "' is corrupt ",
+                          "at line ", lineNo, ": ", error,
+                          " — refusing to resume from it");
+                }
+                line.clear();
+            }
+            std::fclose(in);
+            // Trim any discarded partial tail so appended records
+            // start on a fresh line.
+            if (::truncate(path.c_str(), keepBytes) != 0) {
+                fatal("cannot truncate partial record from '", path,
+                      "'");
+            }
+        }
+        _file = std::fopen(path.c_str(), "ab");
+    } else {
+        _file = std::fopen(path.c_str(), "wb");
+    }
+    fatal_if(!_file, "cannot open results file '", path,
+             "' for writing");
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _records.size();
+}
+
+const StoredPoint *
+ResultStore::find(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _records.find(key);
+    return it == _records.end() ? nullptr : &it->second;
+}
+
+void
+ResultStore::append(const StoredPoint &point)
+{
+    std::string line = serialize(point) + "\n";
+    std::lock_guard<std::mutex> lock(_mutex);
+    _records[point.key] = point;
+    if (!_file)
+        return;
+    panic_if(std::fwrite(line.data(), 1, line.size(), _file) !=
+                 line.size(),
+             "short write to results file '", _path,
+             "' (disk full?)");
+    panic_if(std::fflush(_file) != 0,
+             "cannot flush results file '", _path, "'");
+}
+
+void
+ResultStore::close()
+{
+    if (!_file)
+        return;
+    panic_if(std::fclose(_file) != 0,
+             "cannot close results file '", _path, "'");
+    _file = nullptr;
+}
+
+} // namespace scmp::sweep

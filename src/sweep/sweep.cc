@@ -1,0 +1,277 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sweep/point_key.hh"
+
+namespace scmp::sweep
+{
+
+namespace
+{
+
+SweepOptions globalDefaults;
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+void
+setDefaultSweepOptions(const SweepOptions &options)
+{
+    globalDefaults = options;
+}
+
+const SweepOptions &
+defaultSweepOptions()
+{
+    return globalDefaults;
+}
+
+SweepExecutor::SweepExecutor(SweepOptions options)
+    : _options(std::move(options))
+{
+}
+
+DesignGrid
+SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
+                   MachineConfig base,
+                   const std::vector<std::uint64_t> &sccSizes,
+                   const std::vector<int> &clusterSizes)
+{
+    auto sweepStart = Clock::now();
+
+    // One throwaway instance for the name; construction is cheap
+    // (workloads allocate in setup(), not their constructors).
+    const std::string workloadName = factory()->name();
+
+    struct Task
+    {
+        MachineConfig config;
+        int procs;
+        std::uint64_t sccBytes;
+        std::uint64_t key;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(clusterSizes.size() * sccSizes.size());
+    for (int procs : clusterSizes) {
+        for (std::uint64_t size : sccSizes) {
+            Task task;
+            task.config = base;
+            task.config.cpusPerCluster = procs;
+            task.config.scc.sizeBytes = size;
+            task.procs = procs;
+            task.sccBytes = size;
+            task.key = pointKey(task.config, workloadName,
+                                _options.scale);
+            tasks.push_back(std::move(task));
+        }
+    }
+
+    _stats = SweepRunStats{};
+    _stats.total = tasks.size();
+
+    ResultStore store;
+    if (!_options.resultsPath.empty())
+        store.open(_options.resultsPath, _options.resume);
+
+    // Partition the grid into stored points (served immediately)
+    // and pending points (dealt to the workers).
+    std::vector<DesignPoint> results(tasks.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const Task &task = tasks[i];
+        const StoredPoint *stored =
+            _options.resume && store.isOpen() ? store.find(task.key)
+                                              : nullptr;
+        if (stored) {
+            fatal_if(stored->cpusPerCluster != task.procs ||
+                         stored->sccBytes != task.sccBytes ||
+                         stored->workload != workloadName,
+                     "results file '", _options.resultsPath,
+                     "' record ", keyHex(task.key),
+                     " does not match its key's configuration ",
+                     "(key collision or corrupt store)");
+            results[i].cpusPerCluster = task.procs;
+            results[i].sccBytes = task.sccBytes;
+            results[i].result = stored->result;
+            ++_stats.reused;
+        } else {
+            pending.push_back(i);
+        }
+    }
+    if (_options.verbose && _stats.reused > 0) {
+        inform("sweep: resuming ", workloadName, " — ",
+               _stats.reused, "/", tasks.size(),
+               " points already in '", _options.resultsPath, "'");
+    }
+
+    const std::size_t toCompute = pending.size();
+    std::atomic<std::size_t> completed{0};
+    auto computeStart = Clock::now();
+
+    auto runOne = [&](std::size_t i) {
+        const Task &task = tasks[i];
+        auto workload = factory();
+        // Hand the point its deterministic identity before setup;
+        // combined with the fresh Machine/Arena/Engine below this
+        // makes the point's result independent of which host
+        // thread runs it and in what order.
+        workload->reseed(task.key);
+
+        std::ostringstream statsJson;
+        auto pointStart = Clock::now();
+        RunResult result = runParallel(
+            task.config, *workload, nullptr, nullptr,
+            _options.attachStats ? &statsJson : nullptr);
+        double wallMs = msSince(pointStart);
+
+        results[i].cpusPerCluster = task.procs;
+        results[i].sccBytes = task.sccBytes;
+        results[i].result = result;
+
+        if (store.isOpen()) {
+            StoredPoint record;
+            record.key = task.key;
+            record.workload = workloadName;
+            record.scale = _options.scale;
+            record.cpusPerCluster = task.procs;
+            record.sccBytes = task.sccBytes;
+            record.result = result;
+            record.wallMs = wallMs;
+            record.statsJson = statsJson.str();
+            store.append(record);
+        }
+
+        std::size_t doneCount =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (_options.verbose) {
+            double elapsedS = msSince(computeStart) / 1000.0;
+            double etaS = doneCount < toCompute
+                              ? elapsedS / (double)doneCount *
+                                    (double)(toCompute - doneCount)
+                              : 0.0;
+            inform("sweep ", doneCount, "/", toCompute, ": ",
+                   workloadName, " ", task.procs, "P/cluster ",
+                   sizeString(task.sccBytes), " -> ",
+                   result.cycles, " cycles, rdMiss=",
+                   result.readMissRate, " (", wallMs, " ms, ETA ",
+                   etaS, " s)");
+        }
+    };
+
+    int jobs = _options.jobs;
+    if (jobs <= 0)
+        jobs = (int)std::thread::hardware_concurrency();
+    if (jobs < 1)
+        jobs = 1;
+    if ((std::size_t)jobs > pending.size())
+        jobs = (int)pending.size();
+
+    if (jobs <= 1) {
+        // Serial reference path — same runOne, same order the old
+        // serial sweep used.
+        for (std::size_t i : pending)
+            runOne(i);
+    } else {
+        // Work-stealing pool: each worker owns a deque dealt
+        // round-robin; it pops its own work from the front and
+        // steals from the back of the busiest-looking victim when
+        // it runs dry. Stealing from the opposite end keeps owner
+        // and thief off the same cache lines and the same grid
+        // region (long-running points cluster by coordinates).
+        struct WorkQueue
+        {
+            std::mutex mutex;
+            std::deque<std::size_t> tasks;
+        };
+        std::vector<WorkQueue> queues(jobs);
+        for (std::size_t k = 0; k < pending.size(); ++k)
+            queues[k % jobs].tasks.push_back(pending[k]);
+
+        auto worker = [&](int self) {
+            for (;;) {
+                std::size_t task = 0;
+                bool got = false;
+                {
+                    WorkQueue &own = queues[self];
+                    std::lock_guard<std::mutex> lock(own.mutex);
+                    if (!own.tasks.empty()) {
+                        task = own.tasks.front();
+                        own.tasks.pop_front();
+                        got = true;
+                    }
+                }
+                for (int step = 1; !got && step < jobs; ++step) {
+                    WorkQueue &victim =
+                        queues[(self + step) % jobs];
+                    std::lock_guard<std::mutex> lock(victim.mutex);
+                    if (!victim.tasks.empty()) {
+                        task = victim.tasks.back();
+                        victim.tasks.pop_back();
+                        got = true;
+                    }
+                }
+                if (!got)
+                    return;  // every queue is empty — all done
+                runOne(task);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (int w = 0; w < jobs; ++w)
+            threads.emplace_back(worker, w);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    _stats.computed = toCompute;
+    _stats.wallMs = msSince(sweepStart);
+    if (_options.verbose) {
+        inform("sweep: ", workloadName, " done — ",
+               _stats.computed, " computed, ", _stats.reused,
+               " reused, ", _stats.wallMs / 1000.0, " s");
+    }
+
+    DesignGrid grid;
+    for (auto &point : results)
+        grid.add(std::move(point));
+    return grid;
+}
+
+} // namespace scmp::sweep
+
+namespace scmp
+{
+
+// Defined here (not in core/design_space.cc) so the core library
+// stays free of the executor; see the header comment.
+DesignGrid
+DesignSpace::sweep(const WorkloadFactory &factory,
+                   MachineConfig base,
+                   const std::vector<std::uint64_t> &sccSizes,
+                   const std::vector<int> &clusterSizes,
+                   bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+    sweep::SweepExecutor executor(options);
+    return executor.run(factory, base, sccSizes, clusterSizes);
+}
+
+} // namespace scmp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Host-parallel, resumable design-space sweep execution.
+ *
+ * Every figure and table in the paper is a grid sweep over
+ * {processors per cluster} x {SCC size}, and each grid point is a
+ * fully self-contained simulation (fresh Machine, fresh workload,
+ * fresh Arena, deterministic engine). The SweepExecutor exploits
+ * that independence: a work-stealing pool of host threads runs
+ * points concurrently, a ResultStore persists each completed point
+ * keyed by its stable configuration hash, and a resumed sweep
+ * skips every point the store already holds.
+ *
+ * Correctness bar: a sweep with --jobs=N produces bit-identical
+ * RunResults to the serial sweep. Each point's inputs are functions
+ * only of its own configuration (the executor hands the point its
+ * config-hash seed before setup; nothing is shared across points),
+ * so results cannot depend on host scheduling order.
+ */
+
+#ifndef SCMP_SWEEP_SWEEP_HH
+#define SCMP_SWEEP_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/design_space.hh"
+#include "sweep/result_store.hh"
+
+namespace scmp::sweep
+{
+
+/** Execution knobs for one sweep (--jobs/--results/--resume). */
+struct SweepOptions
+{
+    /** Worker threads; 1 = serial, 0 = one per hardware thread. */
+    int jobs = 1;
+
+    /** JSON-lines result store path; empty = no persistence. */
+    std::string resultsPath;
+
+    /**
+     * Reload resultsPath and skip already-stored points. Without
+     * this flag an existing results file is overwritten.
+     */
+    bool resume = false;
+
+    /** inform() per-point progress with wall time and ETA. */
+    bool verbose = false;
+
+    /** Scale tag mixed into each point's store key. */
+    std::string scale = "default";
+
+    /**
+     * Attach each point's hierarchical statistics tree (as JSON,
+     * see stats::Group::dumpJson) to its store record.
+     */
+    bool attachStats = false;
+};
+
+/** Counters describing what one run() actually did. */
+struct SweepRunStats
+{
+    std::size_t total = 0;     //!< grid points requested
+    std::size_t computed = 0;  //!< simulated this run
+    std::size_t reused = 0;    //!< served from the result store
+    double wallMs = 0;         //!< whole-sweep host wall time
+};
+
+/**
+ * Process-wide default options, set once by the bench/example
+ * command-line plumbing so every DesignSpace::sweep call in the
+ * binary honours --jobs/--results/--resume without threading the
+ * options through each call site. Not thread-safe; set before
+ * sweeping.
+ */
+void setDefaultSweepOptions(const SweepOptions &options);
+const SweepOptions &defaultSweepOptions();
+
+/** Work-stealing executor over one design-point grid. */
+class SweepExecutor
+{
+  public:
+    explicit SweepExecutor(SweepOptions options);
+
+    /**
+     * Evaluate base x sccSizes x clusterSizes (cluster sizes outer,
+     * like the serial sweep always did) and return the completed
+     * grid. May be called repeatedly; runStats() describes the most
+     * recent run.
+     */
+    DesignGrid run(const DesignSpace::WorkloadFactory &factory,
+                   MachineConfig base,
+                   const std::vector<std::uint64_t> &sccSizes,
+                   const std::vector<int> &clusterSizes);
+
+    const SweepRunStats &runStats() const { return _stats; }
+    const SweepOptions &options() const { return _options; }
+
+  private:
+    SweepOptions _options;
+    SweepRunStats _stats;
+};
+
+} // namespace scmp::sweep
+
+#endif // SCMP_SWEEP_SWEEP_HH

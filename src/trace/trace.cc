@@ -54,15 +54,22 @@ TraceWriter::close()
 {
     if (!_file)
         return;
+    // Everything below must be verified: stdio buffers writes, so
+    // an unchecked flush/seek/close can silently truncate the
+    // trace and the loss only surfaces replays later.
+    panic_if(std::fflush(_file) != 0,
+             "cannot flush trace records (disk full?)");
     // Patch the record count into the header.
     TraceHeader header{};
     std::memcpy(header.magic, magic, sizeof(magic));
     header.count = _count;
-    std::fseek(_file, 0, SEEK_SET);
+    panic_if(std::fseek(_file, 0, SEEK_SET) != 0,
+             "cannot seek to the trace header");
     panic_if(std::fwrite(&header, sizeof(header), 1, _file) != 1,
              "cannot finalize trace header");
-    std::fclose(_file);
+    int rc = std::fclose(_file);
     _file = nullptr;
+    panic_if(rc != 0, "cannot close trace file (disk full?)");
 }
 
 TraceReader::TraceReader(const std::string &path)
@@ -76,6 +83,23 @@ TraceReader::TraceReader(const std::string &path)
                          sizeof(header.magic)) != 0,
              "'", path, "' is not an scmp trace file");
     _count = header.count;
+
+    // A short file means the writer died before close() patched
+    // the header — fail now rather than mid-replay.
+    fatal_if(std::fseek(_file, 0, SEEK_END) != 0,
+             "cannot seek in trace file '", path, "'");
+    long fileBytes = std::ftell(_file);
+    fatal_if(fileBytes < 0, "cannot measure trace file '", path,
+             "'");
+    std::uint64_t expected =
+        sizeof(TraceHeader) + _count * sizeof(TraceRecord);
+    fatal_if((std::uint64_t)fileBytes < expected,
+             "trace file '", path, "' is truncated: header ",
+             "promises ", _count, " records (", expected,
+             " bytes) but the file has ", fileBytes, " bytes");
+    fatal_if(std::fseek(_file, (long)sizeof(TraceHeader),
+                        SEEK_SET) != 0,
+             "cannot seek in trace file '", path, "'");
 }
 
 TraceReader::~TraceReader()
@@ -98,7 +122,9 @@ TraceReader::next(TraceRecord &record)
 void
 TraceReader::rewind()
 {
-    std::fseek(_file, (long)sizeof(TraceHeader), SEEK_SET);
+    panic_if(std::fseek(_file, (long)sizeof(TraceHeader),
+                        SEEK_SET) != 0,
+             "cannot rewind trace file");
     _read = 0;
 }
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * End-to-end sweep smoke test, run as a plain binary (no gtest) so
+ * it exercises the exact kill/resume cycle a user's shell run hits:
+ *
+ *   1. sweep half a 2x2 grid with --jobs=2 into a result store;
+ *   2. simulate a mid-append kill (partial final record, no
+ *      trailing newline);
+ *   3. resume the full grid with --jobs=2: the stored points must
+ *      be reused, the rest computed, the partial tail discarded;
+ *   4. diff every RunResult bitwise against a fresh serial sweep.
+ *
+ * Exits 0 on success, 1 with a message on any mismatch.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "core/design_space.hh"
+#include "sweep/sweep.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+int failures = 0;
+
+#define CHECK(cond, ...)                                          \
+    do {                                                          \
+        if (!(cond)) {                                            \
+            std::fprintf(stderr, "sweep_smoke: FAIL %s:%d: ",     \
+                         __FILE__, __LINE__);                     \
+            std::fprintf(stderr, __VA_ARGS__);                    \
+            std::fprintf(stderr, "\n");                           \
+            ++failures;                                           \
+        }                                                         \
+    } while (0)
+
+/** Fixed-work tiny workload; one point takes a few milliseconds. */
+class SmokeWork : public ParallelWorkload
+{
+  public:
+    std::string name() const override { return "smoke"; }
+
+    void
+    setup(Arena &arena, const Topology &) override
+    {
+        _words = arena.alloc<Shared<std::uint64_t>>(totalWords);
+    }
+
+    void
+    threadMain(ThreadCtx &ctx, int tid, const Topology &topo)
+        override
+    {
+        int n = topo.totalCpus();
+        int first = totalWords * tid / n;
+        int last = totalWords * (tid + 1) / n;
+        for (int i = first; i < last; ++i)
+            _words[i].rmw(ctx,
+                          [](std::uint64_t v) { return v + 1; });
+    }
+
+    bool
+    verify() override
+    {
+        return _words[0].raw() == 1;
+    }
+
+    static constexpr int totalWords = 4096;
+
+  private:
+    Shared<std::uint64_t> *_words = nullptr;
+};
+
+DesignSpace::WorkloadFactory
+factory()
+{
+    return [] { return std::make_unique<SmokeWork>(); };
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::uint64_t> sizes{8 << 10, 32 << 10};
+    const std::vector<int> procs{1, 2};
+    std::string path = "sweep_smoke_" +
+                       std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+
+    // Phase 1: sweep half the grid (1 proc/cluster) with two jobs.
+    {
+        sweep::SweepOptions options;
+        options.jobs = 2;
+        options.resultsPath = path;
+        sweep::SweepExecutor executor(options);
+        executor.run(factory(), MachineConfig{}, sizes, {1});
+        CHECK(executor.runStats().computed == sizes.size(),
+              "phase 1 computed %zu points, want %zu",
+              executor.runStats().computed, sizes.size());
+    }
+
+    // Phase 2: the "kill": a record cut off mid-append.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"v\":1,\"key\":\"00";
+    }
+
+    // Phase 3: resume the full grid.
+    sweep::SweepOptions resumeOptions;
+    resumeOptions.jobs = 2;
+    resumeOptions.resultsPath = path;
+    resumeOptions.resume = true;
+    sweep::SweepExecutor resumed(resumeOptions);
+    DesignGrid resumedGrid = resumed.run(
+        factory(), MachineConfig{}, sizes, procs);
+    CHECK(resumed.runStats().total == 4, "total %zu, want 4",
+          resumed.runStats().total);
+    CHECK(resumed.runStats().reused == 2,
+          "resume reused %zu stored points, want 2",
+          resumed.runStats().reused);
+    CHECK(resumed.runStats().computed == 2,
+          "resume computed %zu points, want 2",
+          resumed.runStats().computed);
+
+    // Phase 4: a fresh serial sweep must match bit for bit.
+    sweep::SweepExecutor serial{sweep::SweepOptions{}};
+    DesignGrid serialGrid =
+        serial.run(factory(), MachineConfig{}, sizes, procs);
+    CHECK(serialGrid.size() == resumedGrid.size(),
+          "grid sizes differ: %zu vs %zu", serialGrid.size(),
+          resumedGrid.size());
+    for (const DesignPoint &want : serialGrid) {
+        const DesignPoint *got =
+            resumedGrid.tryAt(want.cpusPerCluster, want.sccBytes);
+        CHECK(got != nullptr, "point (%d, %llu) missing",
+              want.cpusPerCluster,
+              (unsigned long long)want.sccBytes);
+        if (!got)
+            continue;
+        CHECK(want.result.cycles == got->result.cycles &&
+                  want.result.instructions ==
+                      got->result.instructions &&
+                  want.result.references ==
+                      got->result.references &&
+                  want.result.readMissRate ==
+                      got->result.readMissRate &&
+                  want.result.missRate == got->result.missRate &&
+                  want.result.invalidations ==
+                      got->result.invalidations &&
+                  want.result.busTransactions ==
+                      got->result.busTransactions &&
+                  want.result.busUtilization ==
+                      got->result.busUtilization &&
+                  want.result.verified == got->result.verified,
+              "point (%d, %llu): resumed result differs from "
+              "serial",
+              want.cpusPerCluster,
+              (unsigned long long)want.sccBytes);
+    }
+
+    std::remove(path.c_str());
+    if (failures == 0)
+        std::printf("sweep_smoke: ok\n");
+    return failures == 0 ? 0 : 1;
+}

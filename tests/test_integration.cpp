@@ -127,7 +127,7 @@ TEST(Integration, SweepCoversTheGrid)
     // at() finds every grid point.
     for (int p : procs) {
         for (auto s : sizes)
-            EXPECT_NO_FATAL_FAILURE(DesignSpace::at(points, p, s));
+            EXPECT_NO_FATAL_FAILURE(points.at(p, s));
     }
 }
 
@@ -173,9 +173,8 @@ TEST(Integration, PaperAxes)
 
 TEST(IntegrationDeath, MissingDesignPointPanics)
 {
-    std::vector<DesignPoint> points;
-    EXPECT_DEATH(DesignSpace::at(points, 1, 4096),
-                 "not in sweep");
+    DesignGrid grid;
+    EXPECT_DEATH(grid.at(1, 4096), "not in sweep");
 }
 
 TEST(Integration, SlackWindowKeepsResultsClose)

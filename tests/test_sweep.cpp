@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Tests for the sweep subsystem: stable point keys, the JSON-lines
+ * result store, resume semantics, parallel-vs-serial bit identity,
+ * and the machine-readable statistics dump records attach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "sweep/json.hh"
+#include "sweep/point_key.hh"
+#include "sweep/result_store.hh"
+#include "sweep/sweep.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+/**
+ * A small fixed-work workload (same shape as the integration
+ * tests' Streamer): cheap enough for an 8-point grid per test.
+ */
+class MiniStreamer : public ParallelWorkload
+{
+  public:
+    std::string name() const override { return "mini"; }
+
+    void
+    setup(Arena &arena, const Topology &) override
+    {
+        _words = arena.alloc<Shared<std::uint64_t>>(totalWords);
+    }
+
+    void
+    threadMain(ThreadCtx &ctx, int tid, const Topology &topo)
+        override
+    {
+        int n = topo.totalCpus();
+        int first = totalWords * tid / n;
+        int last = totalWords * (tid + 1) / n;
+        for (int round = 0; round < 2; ++round) {
+            for (int i = first; i < last; ++i)
+                _words[i].rmw(ctx, [](std::uint64_t v) {
+                    return v + 1;
+                });
+        }
+    }
+
+    bool
+    verify() override
+    {
+        return _words[0].raw() == 2;
+    }
+
+    static constexpr int totalWords = 2048;
+
+  private:
+    Shared<std::uint64_t> *_words = nullptr;
+};
+
+DesignSpace::WorkloadFactory
+miniFactory()
+{
+    return [] { return std::make_unique<MiniStreamer>(); };
+}
+
+/** Collects every seed the executor hands out, thread-safely. */
+struct SeedLog
+{
+    std::mutex mutex;
+    std::multiset<std::uint64_t> seeds;
+};
+
+/** A workload that records its reseed() value into a SeedLog. */
+class SeedProbe : public ParallelWorkload
+{
+  public:
+    explicit SeedProbe(SeedLog *log) : _log(log) {}
+
+    std::string name() const override { return "seed-probe"; }
+
+    void
+    reseed(std::uint64_t pointSeed) override
+    {
+        std::lock_guard<std::mutex> lock(_log->mutex);
+        _log->seeds.insert(pointSeed);
+    }
+
+    void
+    setup(Arena &arena, const Topology &) override
+    {
+        _counter = arena.alloc<Shared<std::uint64_t>>();
+    }
+
+    void
+    threadMain(ThreadCtx &ctx, int, const Topology &) override
+    {
+        _counter->rmw(ctx, [](std::uint64_t v) { return v + 1; });
+    }
+
+  private:
+    SeedLog *_log;
+    Shared<std::uint64_t> *_counter = nullptr;
+};
+
+void
+expectSameResults(const DesignGrid &a, const DesignGrid &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const DesignPoint &pa = a[i];
+        const DesignPoint &pb = b[i];
+        EXPECT_EQ(pa.cpusPerCluster, pb.cpusPerCluster);
+        EXPECT_EQ(pa.sccBytes, pb.sccBytes);
+        EXPECT_EQ(pa.result.cycles, pb.result.cycles);
+        EXPECT_EQ(pa.result.instructions, pb.result.instructions);
+        EXPECT_EQ(pa.result.references, pb.result.references);
+        EXPECT_EQ(pa.result.readMissRate, pb.result.readMissRate);
+        EXPECT_EQ(pa.result.missRate, pb.result.missRate);
+        EXPECT_EQ(pa.result.invalidations,
+                  pb.result.invalidations);
+        EXPECT_EQ(pa.result.busTransactions,
+                  pb.result.busTransactions);
+        EXPECT_EQ(pa.result.busUtilization,
+                  pb.result.busUtilization);
+        EXPECT_EQ(pa.result.verified, pb.result.verified);
+    }
+}
+
+const std::vector<std::uint64_t> testSizes{8 << 10, 32 << 10};
+const std::vector<int> testProcs{1, 2};
+
+TEST(PointKey, StableAcrossEqualConfigs)
+{
+    MachineConfig a;
+    MachineConfig b;
+    EXPECT_EQ(sweep::hashMachineConfig(a),
+              sweep::hashMachineConfig(b));
+    EXPECT_EQ(sweep::pointKey(a, "barnes", "quick"),
+              sweep::pointKey(b, "barnes", "quick"));
+}
+
+TEST(PointKey, SensitiveToEveryAxis)
+{
+    MachineConfig base;
+    std::uint64_t baseKey =
+        sweep::pointKey(base, "barnes", "quick");
+
+    MachineConfig other = base;
+    other.cpusPerCluster = 2;
+    EXPECT_NE(sweep::pointKey(other, "barnes", "quick"), baseKey);
+
+    other = base;
+    other.scc.sizeBytes *= 2;
+    EXPECT_NE(sweep::pointKey(other, "barnes", "quick"), baseKey);
+
+    other = base;
+    other.scc.protocol = CoherenceProtocol::WriteUpdate;
+    EXPECT_NE(sweep::pointKey(other, "barnes", "quick"), baseKey);
+
+    other = base;
+    other.bus.memoryLatency += 1;
+    EXPECT_NE(sweep::pointKey(other, "barnes", "quick"), baseKey);
+
+    other = base;
+    other.engine.slackWindow = 10;
+    EXPECT_NE(sweep::pointKey(other, "barnes", "quick"), baseKey);
+
+    EXPECT_NE(sweep::pointKey(base, "mp3d", "quick"), baseKey);
+    EXPECT_NE(sweep::pointKey(base, "barnes", "full"), baseKey);
+}
+
+TEST(PointKey, HexRoundTrip)
+{
+    std::uint64_t key = 0x0123456789abcdefull;
+    std::string hex = sweep::keyHex(key);
+    EXPECT_EQ(hex, "0123456789abcdef");
+    std::uint64_t parsed = 0;
+    ASSERT_TRUE(sweep::parseKeyHex(hex, parsed));
+    EXPECT_EQ(parsed, key);
+    EXPECT_FALSE(sweep::parseKeyHex("no", parsed));
+    EXPECT_FALSE(sweep::parseKeyHex("xxxxxxxxxxxxxxxx", parsed));
+}
+
+TEST(Json, ParsesWhatItDumps)
+{
+    sweep::Json obj = sweep::Json::object();
+    obj.set("name", sweep::Json::string("he said \"hi\"\n"));
+    obj.set("big",
+            sweep::Json::unsignedInt(12345678901234567890ull));
+    obj.set("frac", sweep::Json::number(1.0 / 3.0));
+    obj.set("neg", sweep::Json::number(-2.5));
+    obj.set("flag", sweep::Json::boolean(true));
+    obj.set("none", sweep::Json::null());
+    sweep::Json arr = sweep::Json::array();
+    arr.push(sweep::Json::unsignedInt(1));
+    arr.push(sweep::Json::unsignedInt(2));
+    obj.set("list", std::move(arr));
+
+    sweep::Json parsed;
+    std::string error;
+    ASSERT_TRUE(sweep::Json::parse(obj.dump(), parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.find("name")->asString(),
+              "he said \"hi\"\n");
+    EXPECT_EQ(parsed.find("big")->asU64(),
+              12345678901234567890ull);
+    EXPECT_EQ(parsed.find("frac")->asDouble(), 1.0 / 3.0);
+    EXPECT_EQ(parsed.find("neg")->asDouble(), -2.5);
+    EXPECT_TRUE(parsed.find("flag")->asBool());
+    EXPECT_EQ(parsed.find("none")->type(),
+              sweep::Json::Type::Null);
+    EXPECT_EQ(parsed.find("list")->asArray().size(), 2u);
+}
+
+TEST(Json, RejectsGarbage)
+{
+    sweep::Json out;
+    std::string error;
+    EXPECT_FALSE(sweep::Json::parse("{\"a\":", out, &error));
+    EXPECT_FALSE(sweep::Json::parse("{\"a\":1} trailing", out,
+                                    &error));
+    EXPECT_FALSE(sweep::Json::parse("", out, &error));
+    EXPECT_FALSE(sweep::Json::parse("{'a':1}", out, &error));
+}
+
+TEST(ResultStore, RecordRoundTripIsExact)
+{
+    sweep::StoredPoint point;
+    point.key = 0xdeadbeefcafef00dull;
+    point.workload = "barnes";
+    point.scale = "full";
+    point.cpusPerCluster = 8;
+    point.sccBytes = 512 << 10;
+    point.result.cycles = 12345678901234567ull;
+    point.result.instructions = 987654321ull;
+    point.result.references = 123456789ull;
+    point.result.readMissRate = 0.1 + 0.2;  // not representable
+    point.result.missRate = 1.0 / 3.0;
+    point.result.invalidations = 42;
+    point.result.busTransactions = 77;
+    point.result.busUtilization = 0.9999999999999999;
+    point.result.verified = true;
+    point.wallMs = 1234.5678;
+    point.statsJson = "{\"bus\":{\"transactions\":77}}";
+
+    sweep::StoredPoint back;
+    std::string error;
+    ASSERT_TRUE(sweep::ResultStore::deserialize(
+        sweep::ResultStore::serialize(point), back, &error))
+        << error;
+
+    EXPECT_EQ(back.key, point.key);
+    EXPECT_EQ(back.workload, point.workload);
+    EXPECT_EQ(back.scale, point.scale);
+    EXPECT_EQ(back.cpusPerCluster, point.cpusPerCluster);
+    EXPECT_EQ(back.sccBytes, point.sccBytes);
+    EXPECT_EQ(back.result.cycles, point.result.cycles);
+    EXPECT_EQ(back.result.instructions,
+              point.result.instructions);
+    EXPECT_EQ(back.result.references, point.result.references);
+    // Doubles must survive the text round trip bit-exactly.
+    EXPECT_EQ(back.result.readMissRate, point.result.readMissRate);
+    EXPECT_EQ(back.result.missRate, point.result.missRate);
+    EXPECT_EQ(back.result.busUtilization,
+              point.result.busUtilization);
+    EXPECT_EQ(back.result.invalidations,
+              point.result.invalidations);
+    EXPECT_EQ(back.result.busTransactions,
+              point.result.busTransactions);
+    EXPECT_EQ(back.result.verified, point.result.verified);
+    EXPECT_EQ(back.wallMs, point.wallMs);
+    sweep::Json stats;
+    ASSERT_TRUE(sweep::Json::parse(back.statsJson, stats, &error))
+        << error;
+    EXPECT_EQ(stats.find("bus")->find("transactions")->asU64(),
+              77u);
+}
+
+TEST(ResultStore, AppendThenReload)
+{
+    std::string path = tempPath("store_reload.jsonl");
+    sweep::StoredPoint a;
+    a.key = 1;
+    a.workload = "mini";
+    a.scale = "quick";
+    a.result.cycles = 100;
+    sweep::StoredPoint b = a;
+    b.key = 2;
+    b.result.cycles = 200;
+    {
+        sweep::ResultStore store;
+        store.open(path, false);
+        store.append(a);
+        store.append(b);
+    }
+    sweep::ResultStore store;
+    store.open(path, true);
+    EXPECT_EQ(store.size(), 2u);
+    ASSERT_NE(store.find(1), nullptr);
+    ASSERT_NE(store.find(2), nullptr);
+    EXPECT_EQ(store.find(1)->result.cycles, 100u);
+    EXPECT_EQ(store.find(2)->result.cycles, 200u);
+    EXPECT_EQ(store.find(3), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStoreDeath, CorruptLineIsFatal)
+{
+    std::string path = tempPath("store_corrupt.jsonl");
+    sweep::StoredPoint a;
+    a.key = 1;
+    a.workload = "mini";
+    a.scale = "quick";
+    {
+        sweep::ResultStore store;
+        store.open(path, false);
+        store.append(a);
+    }
+    {
+        // A corrupt line that is newline-terminated is NOT a crash
+        // artifact; resuming over it must refuse loudly.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"v\":1,\"key\":\"garbage\n";
+    }
+    EXPECT_EXIT(
+        {
+            sweep::ResultStore store;
+            store.open(path, true);
+        },
+        ::testing::ExitedWithCode(1), "corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, PartialFinalRecordIsDiscarded)
+{
+    std::string path = tempPath("store_partial.jsonl");
+    sweep::StoredPoint a;
+    a.key = 1;
+    a.workload = "mini";
+    a.scale = "quick";
+    {
+        sweep::ResultStore store;
+        store.open(path, false);
+        store.append(a);
+    }
+    {
+        // Simulate a kill mid-append: no trailing newline.
+        std::ofstream out(path, std::ios::app);
+        out << "{\"v\":1,\"key\":\"0000";
+    }
+    setLogQuiet(true);
+    sweep::ResultStore store;
+    store.open(path, true);
+    setLogQuiet(false);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_NE(store.find(1), nullptr);
+
+    // The partial tail was truncated away, so appending again
+    // yields a fully parseable file.
+    sweep::StoredPoint b = a;
+    b.key = 2;
+    store.append(b);
+    store.close();
+    sweep::ResultStore reloaded;
+    reloaded.open(path, true);
+    EXPECT_EQ(reloaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSerial)
+{
+    sweep::SweepOptions serialOptions;
+    serialOptions.jobs = 1;
+    sweep::SweepExecutor serial(serialOptions);
+    auto serialGrid = serial.run(miniFactory(), MachineConfig{},
+                                 testSizes, testProcs);
+
+    sweep::SweepOptions parallelOptions;
+    parallelOptions.jobs = 4;
+    sweep::SweepExecutor parallel(parallelOptions);
+    auto parallelGrid = parallel.run(
+        miniFactory(), MachineConfig{}, testSizes, testProcs);
+
+    ASSERT_EQ(serialGrid.size(),
+              testSizes.size() * testProcs.size());
+    expectSameResults(serialGrid, parallelGrid);
+    for (const auto &point : serialGrid)
+        EXPECT_TRUE(point.result.verified);
+}
+
+TEST(Sweep, EveryPointGetsItsConfigHashSeed)
+{
+    auto runAndCollect = [](int jobs) {
+        SeedLog log;
+        auto factory = [&log] {
+            return std::make_unique<SeedProbe>(&log);
+        };
+        sweep::SweepOptions options;
+        options.jobs = jobs;
+        sweep::SweepExecutor executor(options);
+        executor.run(factory, MachineConfig{}, testSizes,
+                     testProcs);
+        return log.seeds;
+    };
+
+    auto serialSeeds = runAndCollect(1);
+    auto parallelSeeds = runAndCollect(3);
+
+    // One seed per grid point, no duplicates, identical sets
+    // regardless of host-thread count.
+    EXPECT_EQ(serialSeeds.size(),
+              testSizes.size() * testProcs.size());
+    EXPECT_EQ(serialSeeds, parallelSeeds);
+    EXPECT_EQ(std::set<std::uint64_t>(serialSeeds.begin(),
+                                      serialSeeds.end())
+                  .size(),
+              serialSeeds.size());
+
+    // And each seed is exactly the point's stable key.
+    for (int procs : testProcs) {
+        for (std::uint64_t size : testSizes) {
+            MachineConfig config;
+            config.cpusPerCluster = procs;
+            config.scc.sizeBytes = size;
+            EXPECT_EQ(serialSeeds.count(sweep::pointKey(
+                          config, "seed-probe", "default")),
+                      1u);
+        }
+    }
+}
+
+TEST(Sweep, ResumeRecomputesOnlyMissingPoints)
+{
+    std::string path = tempPath("sweep_resume.jsonl");
+    std::remove(path.c_str());
+
+    // First run covers half the grid (one cluster size).
+    sweep::SweepOptions firstOptions;
+    firstOptions.jobs = 2;
+    firstOptions.resultsPath = path;
+    sweep::SweepExecutor first(firstOptions);
+    first.run(miniFactory(), MachineConfig{}, testSizes, {1});
+    EXPECT_EQ(first.runStats().computed, testSizes.size());
+
+    // The resumed full-grid run must reuse those and compute only
+    // the other cluster size.
+    sweep::SweepOptions resumeOptions;
+    resumeOptions.jobs = 2;
+    resumeOptions.resultsPath = path;
+    resumeOptions.resume = true;
+    sweep::SweepExecutor resumed(resumeOptions);
+    auto resumedGrid = resumed.run(miniFactory(), MachineConfig{},
+                                   testSizes, testProcs);
+    EXPECT_EQ(resumed.runStats().total,
+              testSizes.size() * testProcs.size());
+    EXPECT_EQ(resumed.runStats().reused, testSizes.size());
+    EXPECT_EQ(resumed.runStats().computed, testSizes.size());
+
+    // ... and the merged grid is bit-identical to a fresh serial
+    // sweep of the whole grid.
+    sweep::SweepExecutor fresh(sweep::SweepOptions{});
+    auto freshGrid = fresh.run(miniFactory(), MachineConfig{},
+                               testSizes, testProcs);
+    expectSameResults(freshGrid, resumedGrid);
+
+    // A second resume recomputes nothing: factory is called once
+    // (for the workload name) and zero times for points.
+    int factoryCalls = 0;
+    auto countingFactory = [&factoryCalls]()
+        -> std::unique_ptr<ParallelWorkload> {
+        ++factoryCalls;
+        return std::make_unique<MiniStreamer>();
+    };
+    sweep::SweepExecutor again(resumeOptions);
+    auto againGrid = again.run(countingFactory, MachineConfig{},
+                               testSizes, testProcs);
+    EXPECT_EQ(again.runStats().computed, 0u);
+    EXPECT_EQ(again.runStats().reused,
+              testSizes.size() * testProcs.size());
+    EXPECT_EQ(factoryCalls, 1);
+    expectSameResults(freshGrid, againGrid);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, AttachedStatsLandInTheStore)
+{
+    std::string path = tempPath("sweep_stats.jsonl");
+    std::remove(path.c_str());
+
+    sweep::SweepOptions options;
+    options.resultsPath = path;
+    options.attachStats = true;
+    sweep::SweepExecutor executor(options);
+    executor.run(miniFactory(), MachineConfig{}, {8 << 10}, {2});
+
+    sweep::ResultStore store;
+    store.open(path, true);
+    ASSERT_EQ(store.size(), 1u);
+    MachineConfig config;
+    config.cpusPerCluster = 2;
+    config.scc.sizeBytes = 8 << 10;
+    const sweep::StoredPoint *stored = store.find(
+        sweep::pointKey(config, "mini", "default"));
+    ASSERT_NE(stored, nullptr);
+    ASSERT_FALSE(stored->statsJson.empty());
+
+    sweep::Json stats;
+    std::string error;
+    ASSERT_TRUE(
+        sweep::Json::parse(stored->statsJson, stats, &error))
+        << error;
+    // The machine's stats tree has the bus and per-cluster SCCs.
+    EXPECT_NE(stats.find("bus"), nullptr);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <unistd.h>
 
 #include "core/parallel_run.hh"
 #include "trace/trace.hh"
@@ -213,6 +214,33 @@ TEST(TraceDeath, RejectsMissingFile)
 {
     EXPECT_EXIT(TraceReader reader("/nonexistent/nope.trace"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceDeath, RejectsTruncatedFiles)
+{
+    // A trace whose header promises more records than the file
+    // holds (a killed or torn write) must be refused up front, not
+    // silently replayed short.
+    std::string path = tempPath("truncated.trace");
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 50; ++i) {
+            TraceRecord record;
+            record.addr = 0x1000 + (Addr)i * 16;
+            writer.append(record);
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    long bytes = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(),
+                         bytes - (long)sizeof(TraceRecord)),
+              0);
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
 }
 
 TEST(TraceDeath, ReplayRejectsWiderTraceThanMachine)
