@@ -14,11 +14,15 @@
  *   --resume       skip points already present in --results
  *   --stats        attach per-point hierarchical stats to the store
  *   --progress     per-point progress with wall time and ETA
+ *   --check        run every design point under the coherence
+ *                  checker (src/check) — slower, but any figure
+ *                  produced is backed by a verified protocol
  */
 
 #ifndef SCMP_BENCH_COMMON_HH
 #define SCMP_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -132,6 +136,11 @@ parseBenchArgs(int argc, char **argv)
                  options.sweep.resultsPath.empty(),
              "--resume needs --results=FILE");
     sweep::setDefaultSweepOptions(options.sweep);
+    // --check rides on the environment so every Machine built
+    // anywhere in the sweep (including worker threads) attaches the
+    // coherence checker without plumbing a flag through DesignSpace.
+    if (options.config.getBool("check", false))
+        setenv("SCMP_CHECK", "1", 1);
     // Benches print tables, not logs — but --progress asks for the
     // per-point telemetry, so only quiet the run without it.
     setLogQuiet(!options.sweep.verbose);

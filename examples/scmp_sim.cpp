@@ -8,26 +8,38 @@
  * binary a downstream user scripts sweeps with.
  *
  * Usage:
- *   scmp_sim <barnes|mp3d|cholesky|multiprog>
+ *   scmp_sim <barnes|mp3d|cholesky|multiprog|fuzz>
  *     [--clusters=N] [--procs=N] [--scc=SIZE] [--line=SIZE]
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
- *     [--icache=0|1] [--stats] [--csv]
+ *     [--icache=0|1] [--check] [--stats] [--csv]
  *     workload knobs:
  *       barnes:   [--bodies=N] [--steps=N] [--theta=X]
  *       mp3d:     [--particles=N] [--steps=N]
  *       cholesky: [--grid-rows=N] [--grid-cols=N]
  *       multiprog:[--refs=N] [--quantum=N]
+ *       fuzz:     [--seed=N] [--fuzz-steps=N] [--hot-lines=N]
+ *                 [--private-lines=N] [--write-frac=X]
+ *                 [--shared-frac=X] [--false-share-frac=X]
+ *
+ * --check attaches the coherence checker (src/check): a golden
+ * functional memory verifies every load, and tag-array invariant
+ * sweeps catch protocol violations as they happen. The fuzz mode
+ * drives randomized sharing/false-sharing/eviction traffic at the
+ * machine and prints its seed so failures replay with --seed=N.
  *
  * Examples:
  *   scmp_sim barnes --procs=8 --scc=128K
  *   scmp_sim mp3d --protocol=update --stats
  *   scmp_sim multiprog --procs=4 --scc=64K --refs=2000000
+ *   scmp_sim fuzz --check --seed=7 --procs=4 --protocol=update
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "check/checker.hh"
+#include "check/traffic.hh"
 #include "core/parallel_run.hh"
 #include "multiprog/scheduler.hh"
 #include "sim/config.hh"
@@ -73,7 +85,66 @@ machineFromFlags(const Config &config)
     } else if (protocol != "invalidate") {
         fatal("--protocol must be 'invalidate' or 'update'");
     }
+
+    machine.checkCoherence = config.getBool("check", false);
     return machine;
+}
+
+int
+runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
+{
+    check::TrafficParams params;
+    params.seed = (std::uint64_t)config.getInt("seed", 1);
+    params.steps =
+        (std::uint64_t)config.getInt("fuzz-steps", 200'000);
+    params.totalCpus = machineConfig.totalCpus();
+    params.lineBytes = machineConfig.scc.lineBytes;
+    params.hotLines = (int)config.getInt("hot-lines", 16);
+    params.privateLines =
+        (int)config.getInt("private-lines", 512);
+    params.writeFraction =
+        config.getDouble("write-frac", params.writeFraction);
+    params.sharedFraction =
+        config.getDouble("shared-frac", params.sharedFraction);
+    params.falseShareFraction = config.getDouble(
+        "false-share-frac", params.falseShareFraction);
+
+    Machine machine(machineConfig);
+    check::TrafficGen gen(params);
+    check::TrafficStats traffic = gen.run(machine);
+
+    std::uint64_t checks = machine.checking()
+                               ? machine.checker()->checksPerformed()
+                               : 0;
+    if (csv) {
+        std::printf("seed,steps,reads,writes,shared,falseShare,"
+                    "private,checks\n");
+        std::printf(
+            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+            (unsigned long long)params.seed,
+            (unsigned long long)params.steps,
+            (unsigned long long)traffic.reads,
+            (unsigned long long)traffic.writes,
+            (unsigned long long)traffic.sharedRefs,
+            (unsigned long long)traffic.falseShareRefs,
+            (unsigned long long)traffic.privateRefs,
+            (unsigned long long)checks);
+        return 0;
+    }
+    std::printf("fuzz seed           %llu\n",
+                (unsigned long long)params.seed);
+    std::printf("references          %llu (%llu writes)\n",
+                (unsigned long long)params.steps,
+                (unsigned long long)traffic.writes);
+    std::printf("shared/false/priv   %llu / %llu / %llu\n",
+                (unsigned long long)traffic.sharedRefs,
+                (unsigned long long)traffic.falseShareRefs,
+                (unsigned long long)traffic.privateRefs);
+    std::printf("read miss rate      %.2f%%\n",
+                100.0 * machine.readMissRate());
+    std::printf("checks performed    %llu\n",
+                (unsigned long long)checks);
+    return 0;
 }
 
 void
@@ -119,7 +190,8 @@ main(int argc, char **argv)
     if (positional.empty()) {
         std::fprintf(stderr,
                      "usage: scmp_sim "
-                     "<barnes|mp3d|cholesky|multiprog> [flags]\n"
+                     "<barnes|mp3d|cholesky|multiprog|fuzz> "
+                     "[flags]\n"
                      "see the file header for the flag list\n");
         return 2;
     }
@@ -127,6 +199,9 @@ main(int argc, char **argv)
     MachineConfig machine = machineFromFlags(config);
     bool csv = config.getBool("csv", false);
     bool stats = config.getBool("stats", false);
+
+    if (which == "fuzz")
+        return runFuzz(config, machine, csv);
 
     if (which == "multiprog") {
         MultiprogParams params;

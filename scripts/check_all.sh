@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check_all.sh — the full validation gauntlet.
+#
+# Builds the tree twice (normal RelWithDebInfo, then ASan+UBSan) and
+# runs the labeled test suites in both, including a pass with the
+# coherence checker forced on via SCMP_CHECK=1. This is the slow,
+# thorough gate; `ctest -L quick` is the fast inner loop.
+#
+# Usage: scripts/check_all.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${1:-$(nproc)}
+
+run_suite() {
+    local build_dir=$1
+    echo "== [$build_dir] quick suite =="
+    ctest --test-dir "$build_dir" -L quick --output-on-failure -j "$JOBS"
+    echo "== [$build_dir] quick suite, coherence checker on =="
+    SCMP_CHECK=1 ctest --test-dir "$build_dir" -L quick \
+        --output-on-failure -j "$JOBS"
+    echo "== [$build_dir] fuzz gate =="
+    ctest --test-dir "$build_dir" -L fuzz --output-on-failure
+    echo "== [$build_dir] mutation death test =="
+    ctest --test-dir "$build_dir" -L death --output-on-failure
+}
+
+# Reuse whatever generator an existing build dir was configured
+# with; forcing one here would hard-error on a generator mismatch.
+echo "==== normal build ===="
+cmake -S . -B build >/dev/null
+cmake --build build -j "$JOBS"
+run_suite build
+
+echo "==== sanitizer build (address,undefined) ===="
+cmake -S . -B build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    >/dev/null
+cmake --build build-asan -j "$JOBS"
+# Death tests fork under ASan; cut the quarantine down so the matrix
+# of EXPECT_DEATH children doesn't exhaust memory.
+export ASAN_OPTIONS=detect_leaks=1:abort_on_error=0
+run_suite build-asan
+
+echo "ALL SUITES PASSED"

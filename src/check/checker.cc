@@ -1,0 +1,232 @@
+#include "checker.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace scmp::check
+{
+
+bool
+envCheckRequested()
+{
+    const char *value = std::getenv("SCMP_CHECK");
+    if (!value || !*value)
+        return false;
+    return !(value[0] == '0' && value[1] == '\0');
+}
+
+std::uint64_t
+envWalkInterval(std::uint64_t def)
+{
+    const char *value = std::getenv("SCMP_CHECK_WALK");
+    if (!value || !*value)
+        return def;
+    return std::strtoull(value, nullptr, 10);
+}
+
+CoherenceChecker::CoherenceChecker(
+    stats::Group *parent,
+    std::vector<const SharedClusterCache *> caches,
+    CoherenceProtocol protocol, std::uint32_t lineBytes,
+    CheckerOptions options)
+    : _caches(std::move(caches)), _protocol(protocol),
+      _options(options), _oracle((int)_caches.size(), lineBytes),
+      _group(parent, "check"),
+      loadsChecked(&_group, "loadsChecked",
+                   "loads verified against golden memory"),
+      storesChecked(&_group, "storesChecked",
+                    "write commits verified"),
+      lineChecks(&_group, "lineChecks",
+                 "post-transaction line checks"),
+      fullWalks(&_group, "fullWalks", "whole-tag-array sweeps"),
+      linesWalked(&_group, "linesWalked",
+                  "lines visited by the sweeps"),
+      eventsObserved(&_group, "eventsObserved",
+                     "protocol events mirrored")
+{
+    for (std::size_t i = 0; i < _caches.size(); ++i) {
+        panic_if(!_caches[i], "checker: null cache at index ", i);
+        panic_if(_caches[i]->snooperId() != (ClusterId)i,
+                 "checker: cache at index ", i, " has snooper id ",
+                 _caches[i]->snooperId(),
+                 " — bus source ids must equal cache indices");
+    }
+}
+
+void
+CoherenceChecker::onCpuAccessStart(CpuId cpu, int cacheIdx,
+                                   RefType type, Addr addr)
+{
+    panic_if(_pending.active,
+             "checker: cpu ", cpu, " started a reference while cpu ",
+             _pending.cpu, "'s is still in flight — references must "
+             "be serialized");
+    panic_if(type == RefType::Ifetch,
+             "checker: instruction fetches are not data references");
+    _pending.active = true;
+    _pending.cpu = cpu;
+    _pending.cache = cacheIdx;
+    _pending.type = type;
+    _pending.addr = addr;
+    _pending.seq = type == RefType::Write ? ++_writeSeq : 0;
+}
+
+void
+CoherenceChecker::onCpuAccessEnd(CpuId cpu, int cacheIdx,
+                                 RefType type, Addr addr)
+{
+    panic_if(!_pending.active || _pending.cpu != cpu ||
+                 _pending.cache != cacheIdx ||
+                 _pending.type != type || _pending.addr != addr,
+             "checker: access end does not match the in-flight "
+             "reference (cpu ", cpu, " addr 0x", std::hex, addr,
+             ")");
+    _pending.active = false;
+
+    const SharedClusterCache *cache =
+        _caches.at((std::size_t)cacheIdx);
+    CoherenceState state = cache->stateOf(addr);
+    panic_if(state == CoherenceState::Invalid,
+             "checker: cpu ", cpu, " completed a ",
+             refTypeName(type), " of 0x", std::hex, addr, std::dec,
+             " but cache ", cacheIdx,
+             " does not hold the line — the access was never "
+             "serviced");
+
+    if (type == RefType::Read) {
+        Value got = _oracle.loadValue(cacheIdx, addr);
+        Value want = _oracle.golden(addr);
+        panic_if(got != want,
+                 "ORACLE: stale load! cpu ", cpu, " read 0x",
+                 std::hex, addr, std::dec, " from cache ", cacheIdx,
+                 " and observed write #", got,
+                 " but the newest committed write is #", want,
+                 " — a coherence action was lost");
+        ++loadsChecked;
+        return;
+    }
+
+    // Write commit: the serving copy takes the new value. Under
+    // write-invalidate the writer must have gained exclusivity;
+    // write-update legitimately leaves the line Shared.
+    panic_if(_protocol == CoherenceProtocol::WriteInvalidate &&
+                 state != CoherenceState::Modified,
+             "checker: cpu ", cpu, " completed a write of 0x",
+             std::hex, addr, std::dec, " but cache ", cacheIdx,
+             " holds the line ", coherenceStateName(state),
+             " — write-invalidate writes must end Modified");
+    _oracle.commitWrite(cacheIdx, addr, _pending.seq);
+    ++storesChecked;
+}
+
+void
+CoherenceChecker::onEvict(ClusterId cache, Addr lineAddr, bool dirty)
+{
+    ++eventsObserved;
+    // A clean eviction is silent: the dropped copy must match
+    // memory or dirty data just vanished. A dirty victim was
+    // flushed (onDirtyFlush) immediately before this event.
+    _oracle.drop(cache, lineAddr, !dirty);
+}
+
+void
+CoherenceChecker::onFill(ClusterId cache, Addr lineAddr,
+                         CoherenceState state)
+{
+    ++eventsObserved;
+    panic_if(state == CoherenceState::Invalid,
+             "checker: cache ", cache, " filled line 0x", std::hex,
+             lineAddr, " Invalid");
+    _oracle.fill(cache, lineAddr);
+}
+
+void
+CoherenceChecker::onDirtyFlush(ClusterId cache, Addr lineAddr)
+{
+    ++eventsObserved;
+    _oracle.flush(cache, lineAddr);
+}
+
+void
+CoherenceChecker::onInvalidate(ClusterId cache, Addr lineAddr)
+{
+    ++eventsObserved;
+    panic_if(_caches.at((std::size_t)cache)->stateOf(lineAddr) !=
+                 CoherenceState::Invalid,
+             "checker: cache ", cache,
+             " reported invalidating line 0x", std::hex, lineAddr,
+             std::dec, " but still holds it");
+    // Invalidated data is destroyed, not written back — the writer
+    // that forced the invalidation owns the newest value. Any dirty
+    // data was flushed by the preceding intervention.
+    _oracle.drop(cache, lineAddr, false);
+}
+
+void
+CoherenceChecker::onUpdateAbsorbed(ClusterId cache, Addr lineAddr)
+{
+    ++eventsObserved;
+    panic_if(!_pending.active ||
+                 _pending.type != RefType::Write ||
+                 _oracle.lineOf(_pending.addr) != lineAddr,
+             "checker: cache ", cache,
+             " absorbed an update for line 0x", std::hex, lineAddr,
+             std::dec, " with no matching write in flight");
+    _oracle.applyUpdate(cache, lineAddr,
+                        _oracle.wordOf(_pending.addr),
+                        _pending.seq);
+}
+
+void
+CoherenceChecker::onBusTransaction(ClusterId source, BusOp op,
+                                   Addr lineAddr, Cycle grant)
+{
+    (void)grant;
+    ++eventsObserved;
+    ++_transactions;
+
+    if (op == BusOp::Update) {
+        panic_if(!_pending.active ||
+                     _pending.type != RefType::Write ||
+                     _oracle.lineOf(_pending.addr) != lineAddr,
+                 "checker: Update transaction for line 0x",
+                 std::hex, lineAddr, std::dec,
+                 " with no matching write in flight");
+        Addr word = _oracle.wordOf(_pending.addr);
+        // An update broadcast is a write-through: memory takes the
+        // new word, and so does the writer's own copy if it already
+        // holds the line (a write-update write miss broadcasts
+        // before its fill arrives).
+        _oracle.updateMemory(word, _pending.seq);
+        if (_oracle.hasCopy((int)source, lineAddr))
+            _oracle.applyUpdate((int)source, lineAddr, word,
+                                _pending.seq);
+    }
+
+    checkLineAfterTransaction(_caches, source, op, lineAddr);
+    ++lineChecks;
+
+    if (_options.walkInterval == 0 ||
+        _transactions % _options.walkInterval == 0) {
+        fullWalk();
+    }
+}
+
+void
+CoherenceChecker::fullWalk()
+{
+    WalkStats stats = walkTagInvariants(_caches, &_oracle);
+    ++fullWalks;
+    linesWalked += (double)stats.linesWalked;
+}
+
+std::uint64_t
+CoherenceChecker::checksPerformed() const
+{
+    return (std::uint64_t)(loadsChecked.value() +
+                           storesChecked.value() +
+                           lineChecks.value() + fullWalks.value());
+}
+
+} // namespace scmp::check

@@ -1,0 +1,162 @@
+#include "oracle.hh"
+
+#include "sim/logging.hh"
+
+namespace scmp::check
+{
+
+MemoryOracle::MemoryOracle(int numCaches, std::uint32_t lineBytes)
+    : _lineBytes(lineBytes), _copies((std::size_t)numCaches)
+{
+    panic_if(numCaches <= 0, "oracle needs at least one cache");
+    panic_if(!isPowerOf2(lineBytes) || lineBytes < wordBytes,
+             "oracle line size must be a power of two >= ",
+             wordBytes);
+}
+
+Value
+MemoryOracle::golden(Addr addr) const
+{
+    auto it = _golden.find(wordOf(addr));
+    return it == _golden.end() ? 0 : it->second;
+}
+
+const MemoryOracle::LineWords &
+MemoryOracle::copyRef(int cache, Addr lineAddr) const
+{
+    const auto &lines = _copies.at((std::size_t)cache);
+    auto it = lines.find(lineAddr);
+    panic_if(it == lines.end(), "oracle: cache ", cache,
+             " holds no shadow copy of line 0x", std::hex, lineAddr);
+    return it->second;
+}
+
+void
+MemoryOracle::commitWrite(int cache, Addr addr, Value seq)
+{
+    Addr line = lineOf(addr);
+    Addr word = wordOf(addr);
+    auto &lines = _copies.at((std::size_t)cache);
+    auto it = lines.find(line);
+    panic_if(it == lines.end(), "oracle: write commit to cache ",
+             cache, " which holds no copy of line 0x", std::hex,
+             line);
+    it->second[word] = seq;
+    // Only golden memory advances here; shadow DRAM stays stale
+    // until the protocol mechanically flushes the dirty copy.
+    _golden[word] = seq;
+}
+
+MemoryOracle::LineWords
+MemoryOracle::memoryLine(Addr lineAddr) const
+{
+    LineWords words;
+    for (Addr w = lineAddr; w < lineAddr + _lineBytes;
+         w += wordBytes) {
+        auto it = _memory.find(w);
+        if (it != _memory.end())
+            words.emplace(w, it->second);
+    }
+    return words;
+}
+
+void
+MemoryOracle::fill(int cache, Addr lineAddr)
+{
+    auto &lines = _copies.at((std::size_t)cache);
+    panic_if(lines.count(lineAddr),
+             "oracle: cache ", cache, " filled line 0x", std::hex,
+             lineAddr, " it already holds");
+    lines.emplace(lineAddr, memoryLine(lineAddr));
+}
+
+void
+MemoryOracle::flush(int cache, Addr lineAddr)
+{
+    const LineWords &words = copyRef(cache, lineAddr);
+    // The flushed copy replaces memory's view of the line exactly:
+    // Modified is exclusive, so no other agent can have made the
+    // line's memory words newer than this copy.
+    for (Addr w = lineAddr; w < lineAddr + _lineBytes;
+         w += wordBytes) {
+        auto it = words.find(w);
+        if (it != words.end())
+            _memory[w] = it->second;
+        else
+            _memory.erase(w);
+    }
+}
+
+void
+MemoryOracle::drop(int cache, Addr lineAddr, bool expectClean)
+{
+    if (expectClean) {
+        panic_if(!copyMatchesMemory(cache, lineAddr),
+                 "oracle: cache ", cache,
+                 " silently dropped line 0x", std::hex, lineAddr,
+                 std::dec,
+                 " whose data disagrees with memory — dirty data "
+                 "lost");
+    }
+    auto &lines = _copies.at((std::size_t)cache);
+    auto erased = lines.erase(lineAddr);
+    panic_if(!erased, "oracle: cache ", cache,
+             " dropped line 0x", std::hex, lineAddr,
+             " it never held");
+}
+
+void
+MemoryOracle::applyUpdate(int cache, Addr lineAddr, Addr wordAddr,
+                          Value seq)
+{
+    auto &lines = _copies.at((std::size_t)cache);
+    auto it = lines.find(lineAddr);
+    panic_if(it == lines.end(), "oracle: cache ", cache,
+             " absorbed an update for line 0x", std::hex, lineAddr,
+             " it does not hold");
+    it->second[wordAddr] = seq;
+}
+
+void
+MemoryOracle::updateMemory(Addr wordAddr, Value seq)
+{
+    _memory[wordAddr] = seq;
+}
+
+bool
+MemoryOracle::hasCopy(int cache, Addr lineAddr) const
+{
+    return _copies.at((std::size_t)cache).count(lineAddr) != 0;
+}
+
+Value
+MemoryOracle::loadValue(int cache, Addr addr) const
+{
+    const LineWords &words = copyRef(cache, lineOf(addr));
+    auto it = words.find(wordOf(addr));
+    return it == words.end() ? 0 : it->second;
+}
+
+bool
+MemoryOracle::copyMatchesMemory(int cache, Addr lineAddr) const
+{
+    const LineWords &words = copyRef(cache, lineAddr);
+    for (Addr w = lineAddr; w < lineAddr + _lineBytes;
+         w += wordBytes) {
+        auto mem = _memory.find(w);
+        Value memValue = mem == _memory.end() ? 0 : mem->second;
+        auto copy = words.find(w);
+        Value copyValue = copy == words.end() ? 0 : copy->second;
+        if (memValue != copyValue)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+MemoryOracle::copyCount(int cache) const
+{
+    return _copies.at((std::size_t)cache).size();
+}
+
+} // namespace scmp::check

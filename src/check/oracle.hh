@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Golden functional memory oracle for the coherence stack.
+ *
+ * The simulator's caches are timing-only — tag arrays hold no data
+ * payload — so the oracle supplies the data plane: every simulated
+ * write is assigned a globally unique sequence number (its "value"),
+ * a flat golden memory maps each word to the value the last write
+ * left there, and a per-cache shadow store mirrors what a REAL
+ * data-carrying cache would hold given the mechanical tag events
+ * the hardware reports (fills, flushes, invalidations, updates).
+ *
+ * The shadow mirrors mechanics, never protocol decisions: if the
+ * protocol under test forgets to invalidate a remote copy, that
+ * copy's shadow words simply stay stale, and the next load the
+ * stale copy serves disagrees with golden memory — exactly how a
+ * silent coherence bug corrupts a real machine.
+ *
+ * Golden memory and shadow main memory are deliberately SEPARATE
+ * maps. Golden tracks the newest committed write system-wide (what
+ * a load must observe). Shadow main memory only advances when data
+ * mechanically reaches it — a dirty flush, a write-back, an update
+ * broadcast — so while a dirty copy exists, shadow memory is stale,
+ * just like real DRAM. Merging the two would let a fill of a line
+ * whose flush the protocol forgot still pick up the newest values,
+ * masking exactly the lost-write-back bugs the oracle exists to
+ * catch.
+ *
+ * Granularity: values live per 8-byte word; shadow copies are keyed
+ * by cache line and carry the line's words sparsely (absent word ==
+ * never-written == value 0, matching the flat memory's default).
+ */
+
+#ifndef SCMP_CHECK_ORACLE_HH
+#define SCMP_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace scmp::check
+{
+
+/** A memory word's value: sequence number of the write that set it. */
+using Value = std::uint64_t;
+
+/** Flat golden memory plus per-cache shadow line copies. */
+class MemoryOracle
+{
+  public:
+    /** Word granularity of tracked values. */
+    static constexpr std::uint32_t wordBytes = 8;
+
+    MemoryOracle(int numCaches, std::uint32_t lineBytes);
+
+    Addr
+    wordOf(Addr addr) const
+    {
+        return addr & ~(Addr)(wordBytes - 1);
+    }
+
+    Addr
+    lineOf(Addr addr) const
+    {
+        return addr & ~(Addr)(_lineBytes - 1);
+    }
+
+    /// @name Golden functional memory.
+    /// @{
+    /** Value the last committed write left at @p addr (0 if none). */
+    Value golden(Addr addr) const;
+
+    /**
+     * Commit a write: the serving cache's copy takes @p seq and
+     * golden memory records it as the globally newest value.
+     * Panics if the cache holds no copy of the line.
+     */
+    void commitWrite(int cache, Addr addr, Value seq);
+    /// @}
+
+    /// @name Shadow data movement (driven by observed tag events).
+    /// @{
+    /** Install a line: copy the line's words from main memory. */
+    void fill(int cache, Addr lineAddr);
+
+    /** Push a copy's words back to main memory (flush/write-back). */
+    void flush(int cache, Addr lineAddr);
+
+    /**
+     * Remove a copy. With @p expectClean, panic unless the copy
+     * matches memory — a clean (silently dropped) line that
+     * disagrees with memory means dirty data was lost.
+     */
+    void drop(int cache, Addr lineAddr, bool expectClean);
+
+    /** Absorb a write-update broadcast word into a live copy. */
+    void applyUpdate(int cache, Addr lineAddr, Addr wordAddr,
+                     Value seq);
+
+    /** Write-update broadcasts also refresh main memory. */
+    void updateMemory(Addr wordAddr, Value seq);
+    /// @}
+
+    /// @name Inspection (value checks and invariant walks).
+    /// @{
+    bool hasCopy(int cache, Addr lineAddr) const;
+
+    /** Value the cache's copy would return for a load of @p addr.
+     *  Panics if the cache holds no copy of the line. */
+    Value loadValue(int cache, Addr addr) const;
+
+    /** True iff the copy's words equal main memory's for the line. */
+    bool copyMatchesMemory(int cache, Addr lineAddr) const;
+
+    /** Number of line copies the cache's shadow holds. */
+    std::size_t copyCount(int cache) const;
+
+    std::uint32_t lineBytes() const { return _lineBytes; }
+    /// @}
+
+  private:
+    /** Words of one line, sparse and sorted (tiny: lineBytes/8). */
+    using LineWords = std::map<Addr, Value>;
+
+    /** Gather shadow main memory's words for a line, sparse. */
+    LineWords memoryLine(Addr lineAddr) const;
+
+    const LineWords &copyRef(int cache, Addr lineAddr) const;
+
+    std::uint32_t _lineBytes;
+    std::unordered_map<Addr, Value> _golden;  //!< newest write per word
+    std::unordered_map<Addr, Value> _memory;  //!< shadow DRAM per word
+    std::vector<std::unordered_map<Addr, LineWords>> _copies;
+};
+
+} // namespace scmp::check
+
+#endif // SCMP_CHECK_ORACLE_HH

@@ -1,0 +1,97 @@
+#include "traffic.hh"
+
+#include <vector>
+
+#include "exec/engine.hh"
+#include "sim/logging.hh"
+
+namespace scmp::check
+{
+
+TrafficGen::TrafficGen(const TrafficParams &params)
+    : _params(params), _rng(params.seed)
+{
+    panic_if(_params.totalCpus <= 0, "fuzz: need at least one cpu");
+    panic_if(_params.steps == 0, "fuzz: need at least one step");
+    panic_if(!isPowerOf2(_params.lineBytes) ||
+                 _params.lineBytes < 8,
+             "fuzz: line size must be a power of two >= 8");
+    panic_if(_params.hotLines <= 0 || _params.privateLines <= 0,
+             "fuzz: hot and private working sets must be non-empty");
+    panic_if(_params.writeFraction < 0 ||
+                 _params.writeFraction > 1,
+             "fuzz: write fraction must be in [0,1]");
+    panic_if(_params.sharedFraction < 0 ||
+                 _params.falseShareFraction < 0 ||
+                 _params.sharedFraction +
+                         _params.falseShareFraction >
+                     1,
+             "fuzz: shared + false-share fractions must fit in "
+             "[0,1]");
+}
+
+Addr
+TrafficGen::pickAddr(int cpu, TrafficStats &stats)
+{
+    const Addr lineBytes = _params.lineBytes;
+    const std::uint64_t wordsPerLine = lineBytes / 8;
+    const double roll = _rng.uniform();
+
+    if (roll < _params.sharedFraction) {
+        // True sharing: any word of a hot contended line.
+        ++stats.sharedRefs;
+        Addr line = _rng.range((std::uint64_t)_params.hotLines);
+        Addr word = _rng.range(wordsPerLine);
+        return _params.base + line * lineBytes + word * 8;
+    }
+    if (roll <
+        _params.sharedFraction + _params.falseShareFraction) {
+        // False sharing: this processor's own word of a hot line —
+        // no data race, maximal coherence traffic.
+        ++stats.falseShareRefs;
+        Addr line = _rng.range((std::uint64_t)_params.hotLines);
+        Addr word = (Addr)((std::uint64_t)cpu % wordsPerLine);
+        return _params.base + line * lineBytes + word * 8;
+    }
+    // Private working set, one disjoint region per processor.
+    // Sized past the cache it exercises, this is the eviction
+    // pressure that forces write-backs under the hot-line traffic.
+    ++stats.privateRefs;
+    Addr region = _params.base +
+                  (Addr)_params.hotLines * lineBytes +
+                  (Addr)cpu * (Addr)_params.privateLines * lineBytes;
+    Addr line = _rng.range((std::uint64_t)_params.privateLines);
+    Addr word = _rng.range(wordsPerLine);
+    return region + line * lineBytes + word * 8;
+}
+
+TrafficStats
+TrafficGen::run(MemorySystem &mem)
+{
+    inform("fuzz: seed ", _params.seed, ", ", _params.steps,
+           " refs over ", _params.totalCpus,
+           " cpus (replay with --seed=", _params.seed, ")");
+
+    TrafficStats stats;
+    std::vector<Cycle> clock((std::size_t)_params.totalCpus, 0);
+
+    for (std::uint64_t step = 0; step < _params.steps; ++step) {
+        // Fixed round-robin interleaving keeps replay independent
+        // of the timing model's answers.
+        int cpu = (int)(step % (std::uint64_t)_params.totalCpus);
+        Addr addr = pickAddr(cpu, stats);
+        RefType type = _rng.chance(_params.writeFraction)
+                           ? RefType::Write
+                           : RefType::Read;
+        if (type == RefType::Write)
+            ++stats.writes;
+        else
+            ++stats.reads;
+        std::uint32_t gap = (std::uint32_t)(1 + _rng.range(8));
+        Cycle &now = clock[(std::size_t)cpu];
+        now = mem.access(cpu, type, addr, now, gap) + 1;
+    }
+    return stats;
+}
+
+} // namespace scmp::check

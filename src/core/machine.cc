@@ -1,5 +1,6 @@
 #include "machine.hh"
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 
 namespace scmp
@@ -57,9 +58,40 @@ Machine::Machine(const MachineConfig &config)
             _clusterGroups.push_back(std::move(group));
         }
     }
+
+    if (_config.checkCoherence || check::envCheckRequested())
+        enableChecker();
 }
 
-Machine::~Machine() = default;
+Machine::~Machine()
+{
+    // One last exhaustive sweep so a run that ends between periodic
+    // walks still has its final state validated.
+    if (_checker)
+        _checker->fullWalk();
+}
+
+void
+Machine::enableChecker()
+{
+    if (_checker)
+        return;
+    std::vector<const SharedClusterCache *> caches;
+    caches.reserve(_sccs.size());
+    for (const auto &scc : _sccs)
+        caches.push_back(scc.get());
+    check::CheckerOptions options;
+    options.walkInterval =
+        check::envWalkInterval(_config.checkWalkInterval);
+    _checker = std::make_unique<check::CoherenceChecker>(
+        &_root, std::move(caches), _config.scc.protocol,
+        _config.scc.lineBytes, options);
+    _bus->setObserver(_checker.get());
+    for (auto &scc : _sccs)
+        scc->setObserver(_checker.get());
+    inform("coherence checker attached (walk interval ",
+           options.walkInterval, ")");
+}
 
 ClusterId
 Machine::clusterOf(CpuId cpu) const
@@ -105,12 +137,24 @@ Machine::setIStream(CpuId cpu, Addr codeBase, std::uint64_t bytes)
     icache(cpu).setStream(codeBase, bytes);
 }
 
+int
+Machine::cacheIndexOf(CpuId cpu) const
+{
+    if (_config.organization == ClusterOrganization::PrivateCaches)
+        return cpu;
+    return clusterOf(cpu);
+}
+
 SharedClusterCache &
 Machine::cacheOf(CpuId cpu)
 {
-    if (_config.organization == ClusterOrganization::PrivateCaches)
-        return *_sccs[(std::size_t)cpu];
-    return *_sccs[(std::size_t)clusterOf(cpu)];
+    return *_sccs[(std::size_t)cacheIndexOf(cpu)];
+}
+
+const SharedClusterCache &
+Machine::cacheOf(CpuId cpu) const
+{
+    return *_sccs[(std::size_t)cacheIndexOf(cpu)];
 }
 
 Cycle
@@ -123,7 +167,16 @@ Machine::access(CpuId cpu, RefType type, Addr addr, Cycle now,
         _config.organization == ClusterOrganization::PrivateCaches
             ? 0
             : localIndexOf(cpu);
-    return cacheOf(cpu).access(local, type, addr, start);
+    if (!_checker)
+        return cacheOf(cpu).access(local, type, addr, start);
+
+    // Checked mode brackets the reference so the oracle knows which
+    // processor/cache the protocol events in between belong to.
+    int cacheIdx = cacheIndexOf(cpu);
+    _checker->onCpuAccessStart(cpu, cacheIdx, type, addr);
+    Cycle done = cacheOf(cpu).access(local, type, addr, start);
+    _checker->onCpuAccessEnd(cpu, cacheIdx, type, addr);
+    return done;
 }
 
 double

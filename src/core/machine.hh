@@ -24,6 +24,11 @@
 namespace scmp
 {
 
+namespace check
+{
+class CoherenceChecker;
+}
+
 /**
  * Cluster organization (the paper's Section 2.1 alternatives).
  *
@@ -68,6 +73,18 @@ struct MachineConfig
     /** Simulated shared-heap capacity for the workload. */
     std::size_t arenaBytes = 64ull << 20;
 
+    /**
+     * Attach the coherence checker (src/check): golden-memory
+     * oracle on every reference plus invariant sweeps over the tag
+     * arrays. Also enabled by the SCMP_CHECK environment variable,
+     * so any existing binary can run checked without a flag. Zero
+     * cost when off.
+     */
+    bool checkCoherence = false;
+
+    /** Full tag sweep every N bus transactions (0 = every one). */
+    std::uint64_t checkWalkInterval = 4096;
+
     int totalCpus() const { return numClusters * cpusPerCluster; }
 
     /** Sanity-check user-supplied values; fatal on error. */
@@ -97,6 +114,9 @@ class Machine : public MemorySystem
     int numCaches() const { return (int)_sccs.size(); }
     /** The cache serving @p cpu (its SCC or its private cache). */
     SharedClusterCache &cacheOf(CpuId cpu);
+    const SharedClusterCache &cacheOf(CpuId cpu) const;
+    /** Index on the bus of the cache serving @p cpu. */
+    int cacheIndexOf(CpuId cpu) const;
     SharedClusterCache &scc(ClusterId cluster);
     const SharedClusterCache &scc(ClusterId cluster) const;
     ICache &icache(CpuId cpu);
@@ -107,6 +127,18 @@ class Machine : public MemorySystem
 
     /** Re-point a processor's instruction stream (multiprog). */
     void setIStream(CpuId cpu, Addr codeBase, std::uint64_t bytes);
+
+    /// @name Correctness checking (src/check).
+    /// @{
+    /** Attach the oracle/invariant checker; idempotent. */
+    void enableChecker();
+    bool checking() const { return _checker != nullptr; }
+    /** The attached checker, or null when not checking. */
+    const check::CoherenceChecker *checker() const
+    {
+        return _checker.get();
+    }
+    /// @}
 
     /// @name Machine-wide metrics for the experiment harnesses.
     /// @{
@@ -127,6 +159,7 @@ class Machine : public MemorySystem
     std::vector<std::unique_ptr<stats::Group>> _clusterGroups;
     std::vector<std::unique_ptr<SharedClusterCache>> _sccs;
     std::vector<std::unique_ptr<ICache>> _icaches;
+    std::unique_ptr<check::CoherenceChecker> _checker;
 };
 
 } // namespace scmp

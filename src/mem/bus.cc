@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/coherence_observer.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -76,6 +77,8 @@ SnoopyBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
     }
     if (remoteCopyOut)
         *remoteCopyOut = remoteCopy;
+    if (_observer)
+        _observer->onBusTransaction(source, op, lineAddr, grant);
     if (dirtySupplied) {
         ++interventions;
         // The intervening SCC's flush adds a transfer slot.

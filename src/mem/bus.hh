@@ -22,6 +22,8 @@
 namespace scmp
 {
 
+class CoherenceObserver;
+
 /** Result of broadcasting a transaction to one snooper. */
 struct SnoopResult
 {
@@ -59,6 +61,15 @@ class SnoopyBus
     void attach(Snooper *snooper);
 
     /**
+     * Attach a correctness observer (src/check). Notified after
+     * every transaction's snoop broadcast; null detaches.
+     */
+    void setObserver(CoherenceObserver *observer)
+    {
+        _observer = observer;
+    }
+
+    /**
      * Execute one transaction.
      *
      * @param source Requesting cluster (skipped during snooping).
@@ -90,6 +101,7 @@ class SnoopyBus
   private:
     BusParams _params;
     std::vector<Snooper *> _snoopers;
+    CoherenceObserver *_observer = nullptr;
     Cycle _nextFree = 0;
     Cycle _busyCycles = 0;
 

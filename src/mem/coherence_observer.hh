@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Observation interface for the coherence correctness tooling.
+ *
+ * The bus and the SCCs emit a narrow stream of protocol events when
+ * an observer is attached (src/check/ attaches one under --check).
+ * Each event reports a MECHANICAL action the hardware performed —
+ * "this cache installed that line", "this copy was invalidated" —
+ * never a protocol DECISION, so an observer can maintain reference
+ * state (golden memory values, shadow copies) independently of the
+ * protocol logic under test: a cache that forgets to invalidate
+ * simply never emits the event, and its stale shadow copy is caught
+ * on the next verified load.
+ *
+ * With no observer attached every emission site is one untaken
+ * branch; checking is zero cost when off.
+ */
+
+#ifndef SCMP_MEM_COHERENCE_OBSERVER_HH
+#define SCMP_MEM_COHERENCE_OBSERVER_HH
+
+#include "mem/cache_params.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** Receiver for protocol events from the bus and the caches. */
+class CoherenceObserver
+{
+  public:
+    virtual ~CoherenceObserver() = default;
+
+    /// @name Machine-level: one processor data reference.
+    /// @{
+    /** Before the serving cache handles the reference. */
+    virtual void onCpuAccessStart(CpuId cpu, int cacheIdx,
+                                  RefType type, Addr addr) = 0;
+    /** After the reference completes (tags already updated). */
+    virtual void onCpuAccessEnd(CpuId cpu, int cacheIdx,
+                                RefType type, Addr addr) = 0;
+    /// @}
+
+    /// @name Cache-level: tag/state transitions in one SCC.
+    /// @{
+    /** A victim line left the cache. @p dirty = it was Modified. */
+    virtual void onEvict(ClusterId cache, Addr lineAddr,
+                         bool dirty) = 0;
+    /** A line was installed with the given fill state. */
+    virtual void onFill(ClusterId cache, Addr lineAddr,
+                        CoherenceState state) = 0;
+    /** A Modified copy was pushed back to memory (snoop flush or
+     *  write-back); the copy itself may live on. */
+    virtual void onDirtyFlush(ClusterId cache, Addr lineAddr) = 0;
+    /** A snoop dropped this cache's copy. */
+    virtual void onInvalidate(ClusterId cache, Addr lineAddr) = 0;
+    /** A write-update broadcast was absorbed into a live copy. */
+    virtual void onUpdateAbsorbed(ClusterId cache,
+                                  Addr lineAddr) = 0;
+    /// @}
+
+    /**
+     * Bus-level: a transaction finished snooping every cache.
+     * Fires after all cache-level events of the transaction, before
+     * the requester acts on the result — the serialization point at
+     * which global coherence invariants must hold.
+     */
+    virtual void onBusTransaction(ClusterId source, BusOp op,
+                                  Addr lineAddr, Cycle grant) = 0;
+};
+
+} // namespace scmp
+
+#endif // SCMP_MEM_COHERENCE_OBSERVER_HH

@@ -218,7 +218,19 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
         _bus->transaction(_cluster, BusOp::Update, lineAddr,
                           ready);
     }
+    // The victim leaves the tag array only here, when the fill
+    // overwrites it — report the eviction at the same point so an
+    // observer's shadow state never disagrees with the tags while
+    // the miss's bus transactions are in flight.
+    if (_observer && victim->valid()) {
+        bool dirty = victim->state == CoherenceState::Modified;
+        if (dirty)
+            _observer->onDirtyFlush(_cluster, victim->tag);
+        _observer->onEvict(_cluster, victim->tag, dirty);
+    }
     _tags.fill(victim, lineAddr, fillState);
+    if (_observer)
+        _observer->onFill(_cluster, lineAddr, fillState);
     _mshrs[lineAddr] = ready;
     return ready;
 }
@@ -240,16 +252,29 @@ SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
             result.suppliedDirty = true;
             ++interventionsSupplied;
             line->state = CoherenceState::Shared;
+            if (_observer)
+                _observer->onDirtyFlush(_cluster, lineAddr);
         }
         break;
       case BusOp::ReadExcl:
       case BusOp::Upgrade:
+#ifdef SCMP_PROTOCOL_MUTATION
+        // Test-only injected protocol bug (check_mutation_death):
+        // an Upgrade leaves remote Shared copies valid — the
+        // classic lost invalidation. The checker must catch it.
+        if (op == BusOp::Upgrade)
+            break;
+#endif
         if (line->state == CoherenceState::Modified) {
             result.suppliedDirty = true;
             ++interventionsSupplied;
+            if (_observer)
+                _observer->onDirtyFlush(_cluster, lineAddr);
         }
         _tags.invalidate(lineAddr);
         _mshrs.erase(lineAddr);
+        if (_observer)
+            _observer->onInvalidate(_cluster, lineAddr);
         result.invalidated = true;
         ++invalidationsReceived;
         DPRINTF(Coherence, "scc", _cluster,
@@ -262,6 +287,8 @@ SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
         // defensively if the protocols were mixed.
         if (line->state == CoherenceState::Modified)
             line->state = CoherenceState::Shared;
+        if (_observer)
+            _observer->onUpdateAbsorbed(_cluster, lineAddr);
         ++updatesReceived;
         break;
       case BusOp::WriteBack:

@@ -20,6 +20,7 @@
 
 #include "mem/bus.hh"
 #include "mem/cache_params.hh"
+#include "mem/coherence_observer.hh"
 #include "mem/tag_array.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -59,6 +60,15 @@ class SharedClusterCache : public Snooper
     ClusterId snooperId() const override { return _cluster; }
     /// @}
 
+    /**
+     * Attach a correctness observer (src/check). The cache reports
+     * its tag/state transitions to it; null detaches.
+     */
+    void setObserver(CoherenceObserver *observer)
+    {
+        _observer = observer;
+    }
+
     /** Coherence state of the line containing @p addr (tests). */
     CoherenceState stateOf(Addr addr) const;
 
@@ -82,6 +92,7 @@ class SharedClusterCache : public Snooper
     ClusterId _cluster;
     SccParams _params;
     SnoopyBus *_bus;
+    CoherenceObserver *_observer = nullptr;
     TagArray _tags;
     std::vector<Cycle> _bankNextFree;
 

@@ -27,11 +27,11 @@ TagArray::lookup(Addr addr)
     return line;
 }
 
-CacheLine *
-TagArray::probe(Addr addr)
+const CacheLine *
+TagArray::probe(Addr addr) const
 {
     Addr tag = lineAddr(addr);
-    CacheLine *set = &_lines[setIndex(addr) * _assoc];
+    const CacheLine *set = &_lines[setIndex(addr) * _assoc];
     for (std::uint32_t way = 0; way < _assoc; ++way) {
         if (set[way].valid() && set[way].tag == tag)
             return &set[way];
@@ -39,10 +39,12 @@ TagArray::probe(Addr addr)
     return nullptr;
 }
 
-const CacheLine *
-TagArray::probe(Addr addr) const
+CacheLine *
+TagArray::probe(Addr addr)
 {
-    return const_cast<TagArray *>(this)->probe(addr);
+    // Reuse the const lookup; only the caller's access widens.
+    return const_cast<CacheLine *>(
+        static_cast<const TagArray *>(this)->probe(addr));
 }
 
 CacheLine *

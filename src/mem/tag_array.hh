@@ -87,6 +87,9 @@ class TagArray
 
     std::uint64_t numSets() const { return _numSets; }
     std::uint32_t assoc() const { return _assoc; }
+
+    /** High-water LRU stamp (invariant: no line stamp exceeds it). */
+    std::uint64_t lruStampCounter() const { return _stampCounter; }
     std::uint32_t lineBytes() const { return _lineBytes; }
     std::uint64_t sizeBytes() const { return _sizeBytes; }
 

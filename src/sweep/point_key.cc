@@ -65,6 +65,12 @@ hashMachineConfig(const MachineConfig &config)
     h.mix(engine.contextSwitchCost);
 
     h.mix((std::uint64_t)config.arenaBytes);
+
+    // checkCoherence / checkWalkInterval are deliberately NOT
+    // hashed: the checker observes the simulation without altering
+    // any simulated result, so a checked and an unchecked run of
+    // the same configuration are the same design point and may
+    // serve each other's stored records.
     return h.value();
 }
 

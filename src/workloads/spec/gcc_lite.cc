@@ -278,11 +278,16 @@ class GccApp : public SpecApp
         ctx.work(6);
         if (_nodes[left].kind.ld(ctx) == NodeNum &&
             _nodes[right].kind.ld(ctx) == NodeNum) {
-            std::int32_t a = _nodes[left].value.ld(ctx);
-            std::int32_t b = _nodes[right].value.ld(ctx);
-            std::int32_t folded = kind == NodeAdd   ? a + b
-                                  : kind == NodeSub ? a - b
-                                                    : a * b;
+            // Fold in 64 bits and wrap explicitly: literals grow
+            // unboundedly over folding rounds, and the simulated
+            // "compiler" defines its constants to wrap mod 2^32.
+            std::int64_t a = _nodes[left].value.ld(ctx);
+            std::int64_t b = _nodes[right].value.ld(ctx);
+            std::int64_t wide = kind == NodeAdd   ? a + b
+                                : kind == NodeSub ? a - b
+                                                  : a * b;
+            std::int32_t folded =
+                (std::int32_t)(std::uint32_t)(std::uint64_t)wide;
             _nodes[node].kind.st(ctx, NodeNum);
             _nodes[node].value.st(ctx, folded);
             ++_foldedConstants;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Proof the oracle has teeth: a deliberately broken protocol must
+ * die under the checker, and — the scarier half — run to
+ * completion silently without it.
+ *
+ * This binary is compiled with SCMP_PROTOCOL_MUTATION, which gives
+ * it its own copy of scc.cc where a BusUpgr snoop skips the remote
+ * invalidation (the classic lost invalidation). The link resolves
+ * SharedClusterCache from that object file, so the mutated cache
+ * exists only here; the library everyone else links is untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/checker.hh"
+#include "check/traffic.hh"
+#include "core/machine.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/** Sharing-heavy fuzz traffic on the mutated protocol. */
+void
+runMutatedFuzz(bool check)
+{
+    MachineConfig config;
+    config.numClusters = 2;
+    config.cpusPerCluster = 2;
+    config.scc.sizeBytes = 16 << 10;
+    config.checkCoherence = check;
+
+    Machine machine(config);
+    check::TrafficParams params;
+    params.seed = 5;
+    params.steps = 20000;
+    params.totalCpus = config.totalCpus();
+    params.lineBytes = config.scc.lineBytes;
+    // Lean on shared lines so cross-cluster upgrades — the mutated
+    // path — happen early and often.
+    params.sharedFraction = 0.7;
+    params.writeFraction = 0.5;
+    check::TrafficGen(params).run(machine);
+}
+
+TEST(MutationDeath, CheckerCatchesLostInvalidation)
+{
+    unsetenv("SCMP_CHECK");
+    // The very first cross-cluster upgrade whose remote copy
+    // survives trips the post-transaction line check.
+    EXPECT_DEATH(runMutatedFuzz(/*check=*/true),
+                 "missing invalidation");
+}
+
+TEST(MutationDeath, MutationIsSilentWithoutChecker)
+{
+    // The same broken machine, unchecked, finishes without a
+    // whisper — stale data is served and every statistic looks
+    // plausible. This is why the oracle exists.
+    unsetenv("SCMP_CHECK");
+    runMutatedFuzz(/*check=*/false);
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The golden-number regression points, shared between the capture
+ * tool (golden_capture) and the regression test (test_golden).
+ *
+ * Each point is one quick-scale workload run at a fixed machine
+ * configuration. The simulator is bit-deterministic, so every
+ * metric — cycle count, reference count, miss rates — must match
+ * the committed fixture EXACTLY; any drift means a change altered
+ * simulated behaviour and either is a bug or requires deliberately
+ * re-capturing the fixtures (scripts: build/tests/golden_capture
+ * tests/golden).
+ *
+ * Fixture format: the sweep ResultStore's JSON-lines records, one
+ * file per workload under tests/golden/, so the fixtures can be
+ * inspected (and diffed in review) with the same tooling as sweep
+ * results.
+ */
+
+#ifndef SCMP_TESTS_GOLDEN_COMMON_HH
+#define SCMP_TESTS_GOLDEN_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel_run.hh"
+#include "sweep/point_key.hh"
+#include "sweep/result_store.hh"
+#include "workloads/splash/barnes.hh"
+#include "workloads/splash/cholesky.hh"
+#include "workloads/splash/mp3d.hh"
+
+namespace scmp::golden
+{
+
+/** One pinned design point. */
+struct GoldenSpec
+{
+    const char *workload;
+    int cpusPerCluster;
+    std::uint64_t sccBytes;
+};
+
+/** Scale tag mixed into the point keys. */
+inline constexpr const char *goldenScale = "golden";
+
+/** Every pinned point, grouped by workload file. */
+inline std::vector<GoldenSpec>
+goldenSpecs()
+{
+    return {
+        {"barnes", 2, 32ull << 10},
+        {"barnes", 4, 128ull << 10},
+        {"mp3d", 2, 32ull << 10},
+        {"mp3d", 4, 128ull << 10},
+        {"cholesky", 2, 32ull << 10},
+        {"cholesky", 4, 128ull << 10},
+    };
+}
+
+inline MachineConfig
+goldenMachine(const GoldenSpec &spec)
+{
+    MachineConfig config;
+    config.cpusPerCluster = spec.cpusPerCluster;
+    config.scc.sizeBytes = spec.sccBytes;
+    return config;
+}
+
+/** Quick-scale workload instance for a spec (same as bench quick). */
+inline std::unique_ptr<ParallelWorkload>
+makeGoldenWorkload(const std::string &name)
+{
+    if (name == "barnes") {
+        splash::BarnesParams params;
+        params.nbodies = 256;
+        params.steps = 2;
+        return std::make_unique<splash::Barnes>(params);
+    }
+    if (name == "mp3d") {
+        splash::Mp3dParams params;
+        params.nparticles = 2000;
+        params.steps = 3;
+        return std::make_unique<splash::Mp3d>(params);
+    }
+    if (name == "cholesky") {
+        splash::CholeskyParams params;
+        params.gridRows = 20;
+        params.gridCols = 20;
+        return std::make_unique<splash::Cholesky>(params);
+    }
+    fatal("unknown golden workload '", name, "'");
+}
+
+/** Run one pinned point and package it as a store record. */
+inline sweep::StoredPoint
+runGoldenPoint(const GoldenSpec &spec)
+{
+    MachineConfig config = goldenMachine(spec);
+    auto workload = makeGoldenWorkload(spec.workload);
+
+    sweep::StoredPoint point;
+    point.key = sweep::pointKey(config, spec.workload, goldenScale);
+    point.workload = spec.workload;
+    point.scale = goldenScale;
+    point.cpusPerCluster = spec.cpusPerCluster;
+    point.sccBytes = spec.sccBytes;
+    point.result = runParallel(config, *workload);
+    return point;
+}
+
+/** Fixture file for a workload under @p dir. */
+inline std::string
+goldenPath(const std::string &dir, const std::string &workload)
+{
+    return dir + "/" + workload + ".json";
+}
+
+} // namespace scmp::golden
+
+#endif // SCMP_TESTS_GOLDEN_COMMON_HH

@@ -27,7 +27,9 @@ runFrozen(Barnes &barnes, Arena &arena, int procs = 1,
     MachineConfig config;
     config.numClusters = clusters;
     config.cpusPerCluster = procs;
-    return runParallel(config, barnes, &arena);
+    RunResult result = runParallel(config, barnes, &arena);
+    EXPECT_TRUE(result.verified);
+    return result;
 }
 
 class BarnesForceTest : public ::testing::TestWithParam<double>
@@ -109,7 +111,9 @@ TEST(Barnes, DeterministicAcrossRuns)
         Barnes barnes(params);
         MachineConfig config;
         config.cpusPerCluster = 2;
-        return runParallel(config, barnes).cycles;
+        auto result = runParallel(config, barnes);
+        EXPECT_TRUE(result.verified);
+        return result.cycles;
     };
     EXPECT_EQ(run(), run());
 }
@@ -127,7 +131,7 @@ TEST(Barnes, SamePhysicsEveryTopology)
         Arena arena(32ull << 20);
         MachineConfig config;
         config.cpusPerCluster = procs;
-        runParallel(config, barnes, &arena);
+        EXPECT_TRUE(runParallel(config, barnes, &arena).verified);
         std::vector<double> all;
         for (int i = 0; i < params.nbodies; ++i) {
             for (int d = 0; d < 3; ++d)
@@ -151,7 +155,9 @@ TEST(Barnes, MoreProcessorsRunFaster)
         Barnes barnes(params);
         MachineConfig config;
         config.cpusPerCluster = procs;
-        return runParallel(config, barnes).cycles;
+        auto result = runParallel(config, barnes);
+        EXPECT_TRUE(result.verified);
+        return result.cycles;
     };
     Cycle t1 = time(1);
     Cycle t4 = time(4);
@@ -170,7 +176,9 @@ TEST(Barnes, InvalidationsDoNotGrowWithClusterWidth)
         MachineConfig config;
         config.cpusPerCluster = procs;
         config.scc.sizeBytes = 128 << 10;
-        return runParallel(config, barnes).invalidations;
+        auto result = runParallel(config, barnes);
+        EXPECT_TRUE(result.verified);
+        return result.invalidations;
     };
     auto inv1 = invalidations(1);
     auto inv8 = invalidations(8);
@@ -187,7 +195,9 @@ TEST(Barnes, SmallCacheInterferenceRaisesMissRate)
         MachineConfig config;
         config.cpusPerCluster = 8;
         config.scc.sizeBytes = scc;
-        return runParallel(config, barnes).readMissRate;
+        auto result = runParallel(config, barnes);
+        EXPECT_TRUE(result.verified);
+        return result.readMissRate;
     };
     EXPECT_GT(missRate(4 << 10), 3.0 * missRate(256 << 10));
 }

@@ -120,7 +120,7 @@ TEST(Cholesky, SymbolicPatternCoversMatrix)
     Arena arena(64ull << 20);
     MachineConfig config;
     config.cpusPerCluster = 1;
-    runParallel(config, workload, &arena);
+    EXPECT_TRUE(runParallel(config, workload, &arena).verified);
     // Fill-in can only add nonzeros.
     EXPECT_GE(workload.factorNnz(), workload.matrix().nnz());
 }
@@ -131,7 +131,9 @@ TEST(Cholesky, DeterministicAcrossRuns)
         Cholesky workload(tinyParams());
         MachineConfig config;
         config.cpusPerCluster = 4;
-        return runParallel(config, workload).cycles;
+        auto result = runParallel(config, workload);
+        EXPECT_TRUE(result.verified);
+        return result.cycles;
     };
     EXPECT_EQ(run(), run());
 }
@@ -146,7 +148,9 @@ TEST(Cholesky, ParallelSpeedupExistsButIsLimited)
         MachineConfig config;
         config.cpusPerCluster = procs;
         config.scc.sizeBytes = 256 << 10;
-        return (double)runParallel(config, workload).cycles;
+        auto result = runParallel(config, workload);
+        EXPECT_TRUE(result.verified);
+        return (double)result.cycles;
     };
     double speedup = time(1) / time(8);
     EXPECT_GT(speedup, 1.5) << "no parallelism at all";

@@ -40,7 +40,7 @@ TEST(Mp3d, CollisionsHappen)
     Arena arena(32ull << 20);
     MachineConfig config;
     config.cpusPerCluster = 4;
-    runParallel(config, mp3d, &arena);
+    EXPECT_TRUE(runParallel(config, mp3d, &arena).verified);
     EXPECT_GT(mp3d.totalCollisions(), 100);
 }
 
@@ -50,7 +50,9 @@ TEST(Mp3d, DeterministicAcrossRuns)
         Mp3d mp3d(smallParams());
         MachineConfig config;
         config.cpusPerCluster = 2;
-        return runParallel(config, mp3d).cycles;
+        auto result = runParallel(config, mp3d);
+        EXPECT_TRUE(result.verified);
+        return result.cycles;
     };
     EXPECT_EQ(run(), run());
 }
@@ -67,7 +69,9 @@ TEST(Mp3d, InvalidationTrafficIndependentOfClusterWidth)
         MachineConfig config;
         config.cpusPerCluster = procs;
         config.scc.sizeBytes = 256 << 10;
-        return (double)runParallel(config, mp3d).invalidations;
+        auto result = runParallel(config, mp3d);
+        EXPECT_TRUE(result.verified);
+        return (double)result.invalidations;
     };
     double inv1 = invalidations(1);
     double inv8 = invalidations(8);
@@ -86,7 +90,9 @@ TEST(Mp3d, LargeCacheScalesBetterThanSmall)
             MachineConfig config;
             config.cpusPerCluster = procs;
             config.scc.sizeBytes = scc;
-            return (double)runParallel(config, mp3d).cycles;
+            auto result = runParallel(config, mp3d);
+            EXPECT_TRUE(result.verified);
+            return (double)result.cycles;
         };
         return time(1) / time(8);
     };
