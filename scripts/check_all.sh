@@ -24,6 +24,8 @@ run_suite() {
     ctest --test-dir "$build_dir" -L fuzz --output-on-failure
     echo "== [$build_dir] mutation death test =="
     ctest --test-dir "$build_dir" -L death --output-on-failure
+    echo "== [$build_dir] reference hot-path gate =="
+    ctest --test-dir "$build_dir" -L perf --output-on-failure
 }
 
 # Reuse whatever generator an existing build dir was configured

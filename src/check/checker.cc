@@ -218,7 +218,7 @@ CoherenceChecker::fullWalk()
 {
     WalkStats stats = walkTagInvariants(_caches, &_oracle);
     ++fullWalks;
-    linesWalked += (double)stats.linesWalked;
+    linesWalked += stats.linesWalked;
 }
 
 std::uint64_t

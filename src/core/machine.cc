@@ -59,6 +59,22 @@ Machine::Machine(const MachineConfig &config)
         }
     }
 
+    // Freeze the per-processor routing once; Machine::access then
+    // indexes these tables instead of re-deriving cluster and local
+    // port from divisions on every reference.
+    _ifetch = _config.icache.enabled;
+    for (CpuId cpu = 0; cpu < _config.totalCpus(); ++cpu) {
+        int cacheIdx = cacheIndexOf(cpu);
+        _cacheByCpu.push_back(_sccs[(std::size_t)cacheIdx].get());
+        _cacheIndexByCpu.push_back(cacheIdx);
+        _localIndexByCpu.push_back(
+            _config.organization ==
+                    ClusterOrganization::PrivateCaches
+                ? 0
+                : localIndexOf(cpu));
+        _icacheByCpu.push_back(_icaches[(std::size_t)cpu].get());
+    }
+
     if (_config.checkCoherence || check::envCheckRequested())
         enableChecker();
 }
@@ -161,20 +177,28 @@ Cycle
 Machine::access(CpuId cpu, RefType type, Addr addr, Cycle now,
                 std::uint32_t instrGap)
 {
-    // Instruction fetch stalls delay the data access.
-    Cycle start = now + icache(cpu).fetch(instrGap, now);
-    int local =
-        _config.organization == ClusterOrganization::PrivateCaches
-            ? 0
-            : localIndexOf(cpu);
+    panic_if((std::size_t)cpu >= _cacheByCpu.size(),
+             "bad cpu id ", cpu);
+
+    // Instruction fetch stalls delay the data access. With ifetch
+    // modelling off (the paper's data-reference studies) the fetch
+    // call is a guaranteed no-op, so skip it outright.
+    Cycle start =
+        _ifetch ? now + _icacheByCpu[(std::size_t)cpu]->fetch(
+                            instrGap, now)
+                : now;
+    int local = _localIndexByCpu[(std::size_t)cpu];
     if (!_checker)
-        return cacheOf(cpu).access(local, type, addr, start);
+        return _cacheByCpu[(std::size_t)cpu]->access(local, type,
+                                                     addr, start);
 
     // Checked mode brackets the reference so the oracle knows which
     // processor/cache the protocol events in between belong to.
-    int cacheIdx = cacheIndexOf(cpu);
+    int cacheIdx = _cacheIndexByCpu[(std::size_t)cpu];
     _checker->onCpuAccessStart(cpu, cacheIdx, type, addr);
-    Cycle done = cacheOf(cpu).access(local, type, addr, start);
+    Cycle done =
+        _cacheByCpu[(std::size_t)cpu]->access(local, type, addr,
+                                              start);
     _checker->onCpuAccessEnd(cpu, cacheIdx, type, addr);
     return done;
 }

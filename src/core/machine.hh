@@ -160,6 +160,19 @@ class Machine : public MemorySystem
     std::vector<std::unique_ptr<SharedClusterCache>> _sccs;
     std::vector<std::unique_ptr<ICache>> _icaches;
     std::unique_ptr<check::CoherenceChecker> _checker;
+
+    /// @name Per-processor routing tables, built once in the
+    /// constructor so the reference hot path is three array loads —
+    /// no per-reference division, branching on the organization, or
+    /// bounds-checked accessor calls.
+    /// @{
+    std::vector<SharedClusterCache *> _cacheByCpu;
+    std::vector<ICache *> _icacheByCpu;
+    std::vector<int> _localIndexByCpu;
+    std::vector<int> _cacheIndexByCpu;
+    /** Instruction fetch modelled at all (config.icache.enabled). */
+    bool _ifetch = false;
+    /// @}
 };
 
 } // namespace scmp

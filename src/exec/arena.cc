@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SCMP_ARENA_MMAP 1
+#include <sys/mman.h>
+#endif
+
 namespace scmp
 {
 
@@ -11,11 +16,35 @@ Arena::Arena(std::size_t capacityBytes, Addr base)
     fatal_if(capacityBytes == 0, "arena capacity must be non-zero");
     // Page-align the host buffer so host-pointer alignment agrees
     // with simulated-address alignment for any power of two up to
-    // the page size.
+    // the page size. The buffer must read as zero (workloads rely
+    // on G_MALLOC-style zeroed shared memory); anonymous mappings
+    // give that lazily, so a sweep spinning up many machines never
+    // pays for the (mostly untouched) capacity, only for pages the
+    // workload actually uses.
     std::size_t rounded = (capacityBytes + 4095) & ~(std::size_t)4095;
-    _buffer.reset((char *)std::aligned_alloc(4096, rounded));
-    fatal_if(!_buffer, "cannot allocate ", rounded, "B arena");
-    std::memset(_buffer.get(), 0, capacityBytes);
+#ifdef SCMP_ARENA_MMAP
+    void *mem = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    fatal_if(mem == MAP_FAILED, "cannot map ", rounded, "B arena");
+    _bufferPtr = (char *)mem;
+    _mapped = rounded;
+#else
+    _bufferPtr = (char *)std::aligned_alloc(4096, rounded);
+    fatal_if(!_bufferPtr, "cannot allocate ", rounded, "B arena");
+    std::memset(_bufferPtr, 0, capacityBytes);
+    _mapped = rounded;
+#endif
+}
+
+Arena::~Arena()
+{
+    if (!_bufferPtr)
+        return;
+#ifdef SCMP_ARENA_MMAP
+    munmap(_bufferPtr, _mapped);
+#else
+    std::free(_bufferPtr);
+#endif
 }
 
 void *
@@ -28,7 +57,7 @@ Arena::allocBytes(std::size_t bytes, std::size_t align)
              "arena exhausted: need ", bytes, "B at offset ", aligned,
              ", capacity ", _capacity, "B — raise the arena size");
     _used = aligned + bytes;
-    return _buffer.get() + aligned;
+    return _bufferPtr + aligned;
 }
 
 void

@@ -37,6 +37,7 @@ class Arena
      */
     explicit Arena(std::size_t capacityBytes,
                    Addr base = defaultBase);
+    ~Arena();
 
     Arena(const Arena &) = delete;
     Arena &operator=(const Arena &) = delete;
@@ -61,7 +62,7 @@ class Arena
     contains(const void *ptr) const
     {
         auto p = (const char *)ptr;
-        return p >= _buffer.get() && p < _buffer.get() + _capacity;
+        return p >= _bufferPtr && p < _bufferPtr + _capacity;
     }
 
     /** Translate a host pointer into its simulated address. */
@@ -71,7 +72,7 @@ class Arena
         auto p = (const char *)ptr;
         panic_if(!contains(ptr),
                  "simAddr on a pointer outside the arena");
-        return _base + (Addr)(p - _buffer.get());
+        return _base + (Addr)(p - _bufferPtr);
     }
 
     /** Translate a simulated address back to host memory. */
@@ -80,7 +81,7 @@ class Arena
     {
         panic_if(addr < _base || addr >= _base + _capacity,
                  "hostAddr outside the arena's simulated range");
-        return _buffer.get() + (addr - _base);
+        return _bufferPtr + (addr - _base);
     }
 
     Addr base() const { return _base; }
@@ -94,12 +95,9 @@ class Arena
     void alignTo(std::size_t align);
 
   private:
-    struct FreeDeleter
-    {
-        void operator()(char *p) const { std::free(p); }
-    };
-
-    std::unique_ptr<char, FreeDeleter> _buffer;
+    char *_bufferPtr = nullptr;
+    /** Bytes actually mapped/allocated (page-rounded capacity). */
+    std::size_t _mapped = 0;
     std::size_t _capacity;
     std::size_t _used = 0;
     Addr _base;

@@ -96,6 +96,8 @@ Engine::blockThread(ThreadId tid)
     Thread &t = threadRef(tid);
     panic_if(t.state == State::Done, "blocking a finished thread");
     t.state = State::Blocked;
+    // The heap entry goes stale and is discarded when popped.
+    invalidateMinOtherCache();
 }
 
 void
@@ -105,6 +107,9 @@ Engine::wakeThread(ThreadId tid, Cycle atTime)
     panic_if(t.state == State::Done, "waking a finished thread");
     t.state = State::Ready;
     t.time = std::max(t.time, atTime);
+    if (_running && &t != _current)
+        pushReady(t);
+    invalidateMinOtherCache();
 }
 
 void
@@ -116,7 +121,40 @@ Engine::bindCpu(ThreadId tid, CpuId cpu)
 void
 Engine::setTime(ThreadId tid, Cycle time)
 {
-    threadRef(tid).time = time;
+    Thread &t = threadRef(tid);
+    t.time = time;
+    if (_running && &t != _current && t.state == State::Ready)
+        pushReady(t);
+    invalidateMinOtherCache();
+}
+
+void
+Engine::pushReady(const Thread &t)
+{
+    _ready.push(ReadyEntry{t.time, t.tid});
+}
+
+void
+Engine::seedMinOther()
+{
+    // Discard stale tops so the heap top is the smallest live
+    // (time, tid) among Ready threads other than the one about to
+    // run. A still-valid duplicate of the running thread is safe to
+    // consume here: it re-enters the heap when it yields.
+    while (!_ready.empty()) {
+        const ReadyEntry &e = _ready.top();
+        const Thread &t = *_threads[(std::size_t)e.tid];
+        if (t.state != State::Ready || t.time != e.time ||
+            &t == _current) {
+            _ready.pop();
+            continue;
+        }
+        break;
+    }
+    _minOtherFound = !_ready.empty();
+    _minOtherTime = _minOtherFound ? _ready.top().time : 0;
+    _minOtherTid = _minOtherFound ? _ready.top().tid : -1;
+    _minOtherValid = true;
 }
 
 void
@@ -125,29 +163,43 @@ Engine::run()
     panic_if(_running, "engine.run() is not re-entrant");
     panic_if(_threads.empty(), "engine.run() with no threads");
     _running = true;
+
+    // (Re)build the dispatch heap from scratch.
+    _ready = decltype(_ready)();
+    _live = 0;
+    for (const auto &t : _threads) {
+        if (t->state == State::Done)
+            continue;
+        ++_live;
+        if (t->state == State::Ready)
+            pushReady(*t);
+    }
+
     if (_policy)
         _policy->onStart(*this);
 
     for (;;) {
         // Pick the runnable thread with the smallest (time, tid).
+        // Popped entries that no longer match a thread's live state
+        // are leftovers from a block/wake/setTime and are skipped.
         Thread *next = nullptr;
-        bool anyLive = false;
-        for (const auto &t : _threads) {
-            if (t->state == State::Done)
+        while (!_ready.empty()) {
+            ReadyEntry e = _ready.top();
+            _ready.pop();
+            Thread &t = *_threads[(std::size_t)e.tid];
+            if (t.state != State::Ready || t.time != e.time)
                 continue;
-            anyLive = true;
-            if (t->state != State::Ready)
-                continue;
-            if (!next || t->time < next->time)
-                next = t.get();
+            next = &t;
+            break;
         }
         if (!next) {
-            panic_if(anyLive,
+            panic_if(_live > 0,
                      "deadlock: live threads but none runnable");
             break;
         }
 
         _current = next;
+        seedMinOther();
         next->fiber->resume();
         _current = nullptr;
 
@@ -155,11 +207,14 @@ Engine::run()
             DPRINTF(Exec, "thread ", next->tid, " finished @",
                     next->time);
             next->state = State::Done;
+            --_live;
             flushWork(*next);
             next->stats.finishTime = next->time;
             _finishTime = std::max(_finishTime, next->time);
             if (_policy)
                 _policy->onThreadDone(*this, next->tid);
+        } else if (next->state == State::Ready) {
+            pushReady(*next);
         }
     }
     _running = false;
@@ -178,14 +233,26 @@ Engine::flushWork(Thread &t)
 bool
 Engine::minOtherReadyTime(const Thread &self, Cycle &minTime) const
 {
+    if (&self == _current && _minOtherValid) {
+        minTime = _minOtherTime;
+        return _minOtherFound;
+    }
     bool found = false;
+    ThreadId minTid = -1;
     for (const auto &t : _threads) {
         if (t.get() == &self || t->state != State::Ready)
             continue;
         if (!found || t->time < minTime) {
             minTime = t->time;
+            minTid = t->tid;
             found = true;
         }
+    }
+    if (&self == _current) {
+        _minOtherTime = found ? minTime : 0;
+        _minOtherTid = minTid;
+        _minOtherFound = found;
+        _minOtherValid = true;
     }
     return found;
 }
@@ -204,6 +271,17 @@ void
 Engine::yieldThread(Thread &t)
 {
     panic_if(_current != &t, "yield from a non-current thread");
+    if (t.state == State::Ready) {
+        // If this thread is still the dispatch minimum the
+        // scheduler would resume it immediately — skip the fiber
+        // round-trip. The dispatcher's choice is the (time, tid)
+        // minimum over Ready threads, so continuing inline is
+        // indistinguishable from yielding and being re-picked.
+        Cycle minOther = 0;
+        if (!minOtherReadyTime(t, minOther) || t.time < minOther ||
+            (t.time == minOther && t.tid < _minOtherTid))
+            return;
+    }
     Fiber::yieldToCaller();
 }
 

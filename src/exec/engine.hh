@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "exec/arena.hh"
@@ -242,6 +243,42 @@ class Engine
     /** Smallest clock among Ready threads other than @p self. */
     bool minOtherReadyTime(const Thread &self, Cycle &minTime) const;
 
+    /** Drop the cached min-other-ready result (state changed). */
+    void
+    invalidateMinOtherCache()
+    {
+        _minOtherValid = false;
+    }
+
+    /**
+     * One ready-heap element. Entries are lazily deleted: a thread
+     * whose clock or state changed leaves its old entry behind, and
+     * the dispatcher discards any popped entry that no longer
+     * matches the thread's live (state, time).
+     */
+    struct ReadyEntry
+    {
+        Cycle time;
+        ThreadId tid;
+    };
+
+    /** Min-heap order on (time, tid) — the dispatch tie-break. */
+    struct ReadyLater
+    {
+        bool
+        operator()(const ReadyEntry &a, const ReadyEntry &b) const
+        {
+            return a.time != b.time ? a.time > b.time
+                                    : a.tid > b.tid;
+        }
+    };
+
+    /** Enter @p t into the ready heap at its current clock. */
+    void pushReady(const Thread &t);
+
+    /** Seed the min-other cache from the heap top at dispatch. */
+    void seedMinOther();
+
     Thread &threadRef(ThreadId tid);
     const Thread &threadRef(ThreadId tid) const;
 
@@ -254,6 +291,35 @@ class Engine
     Cycle _finishTime = 0;
     std::uint64_t _totalRefs = 0;
     bool _running = false;
+
+    /**
+     * Memoized minOtherReadyTime for the current slice. While one
+     * thread runs, every other thread's clock and state are frozen
+     * unless this engine mutates them (wake/block/setTime) — so the
+     * O(threads) scan that used to run on EVERY reference collapses
+     * to one compare. Invalidated at each dispatch and by every
+     * cross-thread mutation; purely a cache, so scheduling decisions
+     * (and therefore timing) are bit-identical.
+     */
+    mutable Cycle _minOtherTime = 0;
+    mutable ThreadId _minOtherTid = -1;
+    mutable bool _minOtherFound = false;
+    mutable bool _minOtherValid = false;
+
+    /**
+     * Lazy-deletion dispatch heap. Invariant: every Ready thread
+     * that is not currently running has an entry carrying its exact
+     * current (time, tid); stale entries (clock moved, thread
+     * blocked or finished) are discarded when popped. Selection is
+     * therefore identical to the original linear scan — the valid
+     * minimum of (time, tid) over Ready threads — at O(log n) per
+     * dispatch instead of O(n).
+     */
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        ReadyLater>
+        _ready;
+    /** Threads not yet Done (for the deadlock diagnostic). */
+    int _live = 0;
 };
 
 /**

@@ -49,7 +49,7 @@ SnoopyBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
     }
 
     Cycle grant = std::max(now, _nextFree);
-    waitCycles += (double)(grant - now);
+    waitCycles += grant - now;
     DPRINTF(Bus, busOpName(op), " from ", source, " line 0x",
             std::hex, lineAddr, std::dec, " granted @", grant);
 

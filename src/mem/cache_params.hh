@@ -57,6 +57,15 @@ struct SccParams
     /** Inter-cluster coherence protocol. */
     CoherenceProtocol protocol =
         CoherenceProtocol::WriteInvalidate;
+
+    /**
+     * Enable the same-line reference filter (the hot-path fast
+     * path). Provably bit-identical timing and statistics; the
+     * switch exists so tests can prove that equivalence by running
+     * both ways. Like checkCoherence, it is NOT part of the design
+     * point's identity and is never hashed into sweep keys.
+     */
+    bool fastPath = true;
 };
 
 /**

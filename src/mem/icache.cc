@@ -94,7 +94,7 @@ ICache::fetch(std::uint32_t instrs, Cycle now)
             --_iterationsLeft;
         }
     }
-    stallCycles += (double)stall;
+    stallCycles += stall;
     return stall;
 }
 

@@ -41,6 +41,7 @@ SharedClusterCache::SharedClusterCache(stats::Group *parent,
 {
     panic_if(numCpus <= 0, "SCC needs at least one processor");
     panic_if(!bus, "SCC needs a bus");
+    _filters.resize((std::size_t)numCpus);
 }
 
 BankId
@@ -78,25 +79,51 @@ Cycle
 SharedClusterCache::access(int localCpu, RefType type, Addr addr,
                            Cycle now)
 {
-    (void)localCpu;
     panic_if(type == RefType::Ifetch,
              "instruction fetches do not reach the SCC");
+
+    Addr lineAddr = _tags.lineAddr(addr);
+    FilterSet &filter = _filters[(std::size_t)localCpu];
+
+    // Fast path: one of this port's recent references hit this line
+    // and nothing that could divert the outcome — a fill, an
+    // eviction, an MSHR allocation (epoch check) or a snoop
+    // invalidate/demote (state check) — happened since. Replay the
+    // hit path's exact side effects and return.
+    for (const RefFilter &f : filter.entry) {
+        if (f.lineAddr != lineAddr || f.fillEpoch != _fillEpoch)
+            continue;
+        CoherenceState state = f.line->state;
+        bool hit = type == RefType::Read
+                       ? state != CoherenceState::Invalid
+                       : state == CoherenceState::Modified;
+        if (hit) {
+            Cycle &fastBankFree = _bankNextFree[f.bank];
+            Cycle start = std::max(now, fastBankFree);
+            bankConflictCycles += start - now;
+            fastBankFree = start + _params.bankOccupancy;
+            _tags.touch(f.line);
+            if (type == RefType::Read)
+                ++readHits;
+            else
+                ++writeHits;
+            return start;
+        }
+        break;  // armed but the state no longer permits the hit
+    }
 
     // Bank arbitration: wait for the serving bank to free up.
     Cycle &bankFree = _bankNextFree[(std::size_t)bankOf(addr)];
     Cycle start = std::max(now, bankFree);
-    bankConflictCycles += (double)(start - now);
+    bankConflictCycles += start - now;
     bankFree = start + _params.bankOccupancy;
 
-    Addr lineAddr = _tags.lineAddr(addr);
-
     // Merge with an outstanding fill for this line, if any.
-    auto mshr = _mshrs.find(lineAddr);
-    if (mshr != _mshrs.end()) {
-        if (start < mshr->second) {
+    if (Cycle *mshr = _mshrs.find(lineAddr)) {
+        if (start < *mshr) {
             ++mergedMisses;
-            Cycle ready = mshr->second;
-            missStallCycles += (double)(ready - start);
+            Cycle ready = *mshr;
+            missStallCycles += ready - start;
             // A write joining a read fill still needs to inform
             // the other caches (exclusivity or an update).
             CacheLine *line = _tags.probe(lineAddr);
@@ -119,12 +146,14 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
             }
             return ready;
         }
-        _mshrs.erase(mshr);
+        _mshrs.erase(lineAddr);
     }
 
     CacheLine *line = _tags.lookup(addr);
 
     if (line) {
+        if (_params.fastPath)
+            armFilter(filter, line, lineAddr);
         if (type == RefType::Read) {
             ++readHits;
             return start;
@@ -148,7 +177,7 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
             if (!remoteCopy)
                 line->state = CoherenceState::Modified;
             if (_params.stallOnUpgrade) {
-                missStallCycles += (double)(grant - start);
+                missStallCycles += grant - start;
                 return grant;
             }
             return start;
@@ -159,7 +188,7 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
                                         lineAddr, start);
         line->state = CoherenceState::Modified;
         if (_params.stallOnUpgrade) {
-            missStallCycles += (double)(grant - start);
+            missStallCycles += grant - start;
             return grant;
         }
         return start;
@@ -174,7 +203,7 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
             " miss line 0x", std::hex, lineAddr, std::dec, " @",
             start);
     Cycle ready = handleMiss(type, lineAddr, start);
-    missStallCycles += (double)(ready - start);
+    missStallCycles += ready - start;
     return ready;
 }
 
@@ -182,6 +211,11 @@ Cycle
 SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
                                Cycle now)
 {
+    // Every fill moves a tag and allocates an MSHR; advancing the
+    // epoch here is what lets the reference filters prove, with one
+    // compare, that neither has happened since they were armed.
+    ++_fillEpoch;
+
     // Evict the victim; write back dirty data (buffered, so the
     // requester does not wait on it beyond bus occupancy).
     CacheLine *victim = _tags.victim(lineAddr);
@@ -231,7 +265,7 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
     _tags.fill(victim, lineAddr, fillState);
     if (_observer)
         _observer->onFill(_cluster, lineAddr, fillState);
-    _mshrs[lineAddr] = ready;
+    _mshrs.set(lineAddr, ready);
     return ready;
 }
 
@@ -273,6 +307,7 @@ SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
         }
         _tags.invalidate(lineAddr);
         _mshrs.erase(lineAddr);
+        flushFilters(lineAddr);
         if (_observer)
             _observer->onInvalidate(_cluster, lineAddr);
         result.invalidated = true;
@@ -287,6 +322,10 @@ SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
         // defensively if the protocols were mixed.
         if (line->state == CoherenceState::Modified)
             line->state = CoherenceState::Shared;
+        // The copy survives, but a filtered write may no longer
+        // treat it as exclusively held — drop the armed filters
+        // and let the next reference re-prove the hit.
+        flushFilters(lineAddr);
         if (_observer)
             _observer->onUpdateAbsorbed(_cluster, lineAddr);
         ++updatesReceived;

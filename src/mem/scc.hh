@@ -15,12 +15,12 @@
 #ifndef SCMP_MEM_SCC_HH
 #define SCMP_MEM_SCC_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "mem/bus.hh"
 #include "mem/cache_params.hh"
 #include "mem/coherence_observer.hh"
+#include "mem/mshr_table.hh"
 #include "mem/tag_array.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -89,6 +89,78 @@ class SharedClusterCache : public Snooper
     /** Handle a miss; returns data-ready cycle. */
     Cycle handleMiss(RefType type, Addr lineAddr, Cycle now);
 
+    /**
+     * One processor port's last-hit filter — the reference fast
+     * path. Armed on a plain hit; a repeat reference to the same
+     * line replays exactly the hit path's side effects (bank
+     * arbitration, LRU touch, one stat increment) without the MSHR
+     * probe or the tag walk.
+     *
+     * Validity is re-proven on every use rather than trusted:
+     *   - fillEpoch must equal _fillEpoch. handleMiss() is the only
+     *     place an MSHR entry is created or a tag moves (fill or
+     *     eviction), and it bumps the epoch — so an epoch match
+     *     means no MSHR entry can exist for the armed line and the
+     *     armed CacheLine pointer still holds that line.
+     *   - the live coherence state must still permit the hit: any
+     *     valid state for a read, Modified for a write. Remote
+     *     snoops that invalidate or demote the line are caught
+     *     here (and flushFilters() clears matching filters
+     *     outright when a snoop lands).
+     */
+    struct RefFilter
+    {
+        CacheLine *line = nullptr;
+        Addr lineAddr = invalidAddr;
+        std::size_t bank = 0;
+        std::uint64_t fillEpoch = 0;
+    };
+
+    /**
+     * Each port keeps a handful of armed lines, round-robin
+     * replaced — workloads ping-pong between a few hot lines (an
+     * object's fields, a stack slot, a lock word) and a single
+     * entry would thrash. Entries are independent: each one's
+     * validity is re-proven at use by the epoch + state checks.
+     */
+    struct FilterSet
+    {
+        static constexpr int entries = 4;
+        RefFilter entry[entries];
+        unsigned victim = 0;
+    };
+
+    /** Arm an entry of @p set after a plain hit on @p line. */
+    void
+    armFilter(FilterSet &set, CacheLine *line, Addr lineAddr)
+    {
+        RefFilter *slot = &set.entry[set.victim];
+        for (RefFilter &f : set.entry) {
+            if (f.lineAddr == lineAddr) {
+                slot = &f;  // refresh in place, keep the others
+                break;
+            }
+        }
+        if (slot == &set.entry[set.victim])
+            set.victim = (set.victim + 1) % FilterSet::entries;
+        slot->line = line;
+        slot->lineAddr = lineAddr;
+        slot->bank = (std::size_t)bankOf(lineAddr);
+        slot->fillEpoch = _fillEpoch;
+    }
+
+    /** Drop every filter armed on @p lineAddr (snoop landed). */
+    void
+    flushFilters(Addr lineAddr)
+    {
+        for (FilterSet &set : _filters) {
+            for (RefFilter &f : set.entry) {
+                if (f.lineAddr == lineAddr)
+                    f = RefFilter{};
+            }
+        }
+    }
+
     ClusterId _cluster;
     SccParams _params;
     SnoopyBus *_bus;
@@ -97,7 +169,13 @@ class SharedClusterCache : public Snooper
     std::vector<Cycle> _bankNextFree;
 
     /** In-flight fills: line address → completion cycle. */
-    std::unordered_map<Addr, Cycle> _mshrs;
+    MshrTable _mshrs;
+
+    /** Per-port reference filters (index = localCpu). */
+    std::vector<FilterSet> _filters;
+
+    /** Bumped by every handleMiss (fill/evict/MSHR-allocate). */
+    std::uint64_t _fillEpoch = 0;
 
     stats::Group statsGroup;
 

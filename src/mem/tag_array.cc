@@ -15,7 +15,10 @@ TagArray::TagArray(std::uint64_t sizeBytes, std::uint32_t lineBytes,
     _lineShift = floorLog2(lineBytes);
     _numSets = sizeBytes / lineBytes / assoc;
     fatal_if(!isPowerOf2(_numSets), "set count must be a power of 2");
+    _lineMask = ~(Addr)(lineBytes - 1);
+    _setMask = _numSets - 1;
     _lines.resize(_numSets * assoc);
+    _mruWay.assign(_numSets, 0);
 }
 
 CacheLine *
@@ -30,11 +33,21 @@ TagArray::lookup(Addr addr)
 const CacheLine *
 TagArray::probe(Addr addr) const
 {
-    Addr tag = lineAddr(addr);
-    const CacheLine *set = &_lines[setIndex(addr) * _assoc];
+    Addr tag = addr & _lineMask;
+    std::uint64_t set = setIndex(addr);
+    const CacheLine *base = &_lines[set * _assoc];
+
+    // The most-recently-hit way first: on the dominant repeat-hit
+    // pattern this is the only compare executed.
+    std::uint32_t mru = _mruWay[set];
+    if (base[mru].tag == tag && base[mru].valid())
+        return &base[mru];
+
     for (std::uint32_t way = 0; way < _assoc; ++way) {
-        if (set[way].valid() && set[way].tag == tag)
-            return &set[way];
+        if (way != mru && base[way].valid() && base[way].tag == tag) {
+            _mruWay[set] = way;
+            return &base[way];
+        }
     }
     return nullptr;
 }
@@ -69,6 +82,8 @@ TagArray::fill(CacheLine *line, Addr addr, CoherenceState state)
     line->tag = lineAddr(addr);
     line->state = state;
     line->lruStamp = ++_stampCounter;
+    std::uint64_t idx = (std::uint64_t)(line - _lines.data());
+    _mruWay[idx / _assoc] = (std::uint32_t)(idx % _assoc);
 }
 
 bool
@@ -79,6 +94,11 @@ TagArray::invalidate(Addr addr)
         return false;
     line->state = CoherenceState::Invalid;
     line->tag = invalidAddr;
+    // Clear the recency stamp too: an invalid way must not carry a
+    // stale stamp into its next tenancy (fill() re-stamps, but any
+    // path that inspects stamps between invalidate and refill would
+    // otherwise see a recency the way no longer has).
+    line->lruStamp = 0;
     return true;
 }
 

@@ -46,14 +46,14 @@ class TagArray
     Addr
     lineAddr(Addr addr) const
     {
-        return addr & ~(Addr)(_lineBytes - 1);
+        return addr & _lineMask;
     }
 
     /** Set index for an address. */
     std::uint64_t
     setIndex(Addr addr) const
     {
-        return (addr >> _lineShift) & (_numSets - 1);
+        return (addr >> _lineShift) & _setMask;
     }
 
     /**
@@ -66,6 +66,16 @@ class TagArray
     /** Look up without touching LRU state (snoops, tests). */
     CacheLine *probe(Addr addr);
     const CacheLine *probe(Addr addr) const;
+
+    /**
+     * Re-stamp a line already known to be resident (the reference
+     * fast path). Equivalent to the LRU side effect of lookup().
+     */
+    void
+    touch(CacheLine *line)
+    {
+        line->lruStamp = ++_stampCounter;
+    }
 
     /**
      * Choose the victim way in @p addr's set (invalid first, then
@@ -108,8 +118,19 @@ class TagArray
     std::uint32_t _assoc;
     int _lineShift;
     std::uint64_t _numSets;
+    Addr _lineMask;          //!< ~(lineBytes - 1), precomputed
+    std::uint64_t _setMask;  //!< numSets - 1, precomputed
     std::uint64_t _stampCounter = 0;
     std::vector<CacheLine> _lines;
+
+    /**
+     * Most-recently-hit way per set: probe() checks it before
+     * scanning the set, so the common repeat hit is one tag
+     * compare. Pure search-order hint — it never changes which
+     * line a probe returns or which way victim() picks, so timing
+     * and victim selection are bit-identical with or without it.
+     */
+    mutable std::vector<std::uint32_t> _mruWay;
 };
 
 } // namespace scmp

@@ -16,6 +16,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace scmp::stats
@@ -58,21 +59,47 @@ class Stat
     std::string _desc;
 };
 
-/** A simple counter / accumulator. */
+/**
+ * A simple counter / accumulator.
+ *
+ * Increments and integer adds — the simulator's hot-path uses —
+ * accumulate into a plain 64-bit integer (a single branch-free add,
+ * no int→double conversion on the reference path); fractional adds
+ * and assignments land in a separate double. The two halves fold
+ * together only when the value is read. Every simulated quantity is
+ * an exact integer far below 2^53, so the fold is exact and the
+ * split is invisible to dumps and golden fixtures.
+ */
 class Scalar : public Stat
 {
   public:
     using Stat::Stat;
 
-    Scalar &operator++() { ++_value; return *this; }
-    Scalar &operator+=(double v) { _value += v; return *this; }
-    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator++() { ++_ticks; return *this; }
+    /** Integer add — the branch-free hot-path form. */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    Scalar &
+    operator+=(T v)
+    {
+        _ticks += (std::uint64_t)v;
+        return *this;
+    }
+    Scalar &operator+=(double v) { _base += v; return *this; }
+    Scalar &
+    operator=(double v)
+    {
+        _base = v;
+        _ticks = 0;
+        return *this;
+    }
 
-    double value() const override { return _value; }
-    void reset() override { _value = 0; }
+    double value() const override { return _base + (double)_ticks; }
+    void reset() override { _base = 0; _ticks = 0; }
 
   private:
-    double _value = 0;
+    std::uint64_t _ticks = 0;  //!< integer increments / adds
+    double _base = 0;          //!< fractional adds and assignments
 };
 
 /** Mean of all samples fed to it. */

@@ -117,6 +117,47 @@ TEST_F(SccTest, WriteJoiningReadFillUpgrades)
     EXPECT_EQ(bus->upgrades.value(), upgradesBefore + 1);
 }
 
+TEST_F(SccTest, MergedReadWriteAccountsStallsAndConflicts)
+{
+    // Pin every stat on the merge path: processor 0 read-misses a
+    // line, processor 1 writes the same line in the same cycle.
+    // The write pays bank arbitration (same bank, same cycle),
+    // merges into the outstanding fill (no second miss, no write
+    // stats), stalls until the fill, and issues exactly one
+    // Upgrade to make the Shared fill writable.
+    const Cycle lat = BusParams{}.memoryLatency;
+    const Cycle occ = SccParams{}.bankOccupancy;
+
+    Cycle fill = scc->access(0, RefType::Read, 0x2000, 0);
+    EXPECT_EQ(fill, lat);
+    double upgradesBefore = bus->upgrades.value();
+    double transactionsBefore = bus->transactions.value();
+
+    Cycle merged = scc->access(1, RefType::Write, 0x2008, 0);
+    EXPECT_EQ(merged, fill) << "joined write completes at fill";
+
+    // Classification: one read miss, one merge; the joining write
+    // is neither a write hit nor a write miss.
+    EXPECT_EQ((std::uint64_t)scc->readMisses.value(), 1u);
+    EXPECT_EQ((std::uint64_t)scc->mergedMisses.value(), 1u);
+    EXPECT_EQ((std::uint64_t)scc->writeMisses.value(), 0u);
+    EXPECT_EQ((std::uint64_t)scc->writeHits.value(), 0u);
+    EXPECT_EQ((std::uint64_t)scc->readHits.value(), 0u);
+
+    // Timing: the write waited `occ` for the bank (charged to bank
+    // conflicts, not miss stall), then fill - (0 + occ) for the
+    // data; the original miss waited the full latency.
+    EXPECT_EQ((Cycle)scc->bankConflictCycles.value(), occ);
+    EXPECT_EQ((Cycle)scc->missStallCycles.value(),
+              (fill - 0) + (fill - occ));
+
+    // Coherence: exactly one extra transaction (the Upgrade), and
+    // the line ends up writable.
+    EXPECT_EQ(bus->upgrades.value(), upgradesBefore + 1);
+    EXPECT_EQ(bus->transactions.value(), transactionsBefore + 1);
+    EXPECT_EQ(scc->stateOf(0x2000), CoherenceState::Modified);
+}
+
 TEST_F(SccTest, MissRatesAggregateCorrectly)
 {
     Cycle now = 0;

@@ -82,6 +82,112 @@ TEST(TagArray, ValidLineCount)
     EXPECT_EQ(tags.validLines(), 16u);
 }
 
+TEST(TagArray, InvalidateResetsLruStamp)
+{
+    // A stale stamp on an Invalid line is harmless for victim
+    // selection (invalid ways are taken first) but trips the
+    // unique-stamps invariant and makes set state depend on dead
+    // history; invalidate() must clear it.
+    TagArray tags(64, 16, 4);
+    Addr addrs[] = {0x000, 0x100, 0x200, 0x300};
+    for (Addr a : addrs)
+        tags.fill(tags.victim(a), a, CoherenceState::Shared);
+    ASSERT_TRUE(tags.invalidate(0x200));
+
+    int invalidLines = 0;
+    tags.forEachLine([&](const CacheLine &line) {
+        if (!line.valid()) {
+            ++invalidLines;
+            EXPECT_EQ(line.lruStamp, 0u)
+                << "invalidate must reset the LRU stamp";
+        }
+    });
+    EXPECT_EQ(invalidLines, 1);
+
+    // The invalidated way is re-picked as victim (invalid first),
+    // and after the refill the LRU order reflects only live fills:
+    // 0x000 is now the oldest valid line.
+    CacheLine *victim = tags.victim(0x400);
+    EXPECT_FALSE(victim->valid());
+    tags.fill(victim, 0x400, CoherenceState::Shared);
+    EXPECT_EQ(tags.victim(0x500)->tag, 0x000u);
+}
+
+TEST(TagArray, MruHintSurvivesInvalidateAndRefill)
+{
+    // probe() consults a most-recently-hit way hint. Stale hints
+    // (after the hinted line is invalidated or overwritten) must
+    // fall back to the full set scan with identical results.
+    TagArray tags(64, 16, 4);
+    Addr addrs[] = {0x000, 0x100, 0x200, 0x300};
+    for (Addr a : addrs)
+        tags.fill(tags.victim(a), a, CoherenceState::Shared);
+
+    // Make 0x300 the hinted way, then invalidate it.
+    ASSERT_NE(tags.probe(0x300), nullptr);
+    ASSERT_TRUE(tags.invalidate(0x300));
+    EXPECT_EQ(tags.probe(0x300), nullptr);
+    ASSERT_NE(tags.probe(0x000), nullptr);  // scan still works
+    EXPECT_EQ(tags.probe(0x000)->tag, 0x000u);
+
+    // Refill over the hinted way with a different tag; the old
+    // tag must miss and the new one must hit.
+    tags.fill(tags.victim(0x400), 0x400, CoherenceState::Shared);
+    EXPECT_EQ(tags.probe(0x300), nullptr);
+    ASSERT_NE(tags.probe(0x400), nullptr);
+    EXPECT_EQ(tags.probe(0x400)->tag, 0x400u);
+
+    // const probe must agree with the mutable one.
+    const TagArray &ctags = tags;
+    EXPECT_EQ(ctags.probe(0x300), nullptr);
+    ASSERT_NE(ctags.probe(0x400), nullptr);
+}
+
+TEST(TagArray, RandomizedResidencyMatchesModel)
+{
+    // Drive fills, probes, lookups and invalidates against a plain
+    // map of resident lines; probe()/lookup() must agree with the
+    // model at every step regardless of the MRU hint's state.
+    TagArray tags(1 << 10, 16, 4);
+    Rng rng(0xfeedULL);
+    std::set<Addr> resident;
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = (rng.range(1 << 12)) << 4;  // 4096 distinct lines
+        Addr la = tags.lineAddr(addr);
+        switch (rng.range(4)) {
+          case 0: {  // fill (evicting whatever victim() picks)
+            if (!tags.probe(la)) {
+                CacheLine *victim = tags.victim(la);
+                if (victim->valid())
+                    resident.erase(victim->tag);
+                tags.fill(victim, la, CoherenceState::Shared);
+                resident.insert(la);
+            }
+            break;
+          }
+          case 1: {  // invalidate
+            bool was = resident.erase(la) > 0;
+            EXPECT_EQ(tags.invalidate(la), was);
+            break;
+          }
+          case 2: {  // probe
+            CacheLine *line = tags.probe(la);
+            EXPECT_EQ(line != nullptr, resident.count(la) > 0);
+            if (line) {
+                EXPECT_EQ(line->tag, la);
+            }
+            break;
+          }
+          default: {  // lookup (touches LRU)
+            CacheLine *line = tags.lookup(la);
+            EXPECT_EQ(line != nullptr, resident.count(la) > 0);
+            break;
+          }
+        }
+        ASSERT_EQ(tags.validLines(), resident.size());
+    }
+}
+
 struct Geometry
 {
     std::uint64_t size;
