@@ -17,6 +17,11 @@
  *   --check        run every design point under the coherence
  *                  checker (src/check) — slower, but any figure
  *                  produced is backed by a verified protocol
+ *   --obs=FILE     write a Chrome trace_event timeline per design
+ *                  point (FILE suffixed with each point's key)
+ *   --obs-interval=N  sample interval metrics every N cycles and
+ *                  attach each point's series to --results records
+ *   --obs-series=FILE also write each point's series as CSV
  */
 
 #ifndef SCMP_BENCH_COMMON_HH
@@ -135,6 +140,30 @@ parseBenchArgs(int argc, char **argv)
     fatal_if(options.sweep.resume &&
                  options.sweep.resultsPath.empty(),
              "--resume needs --results=FILE");
+    // Observability (src/obs): applied to every design point the
+    // sweep builds; the executor suffixes file paths per point.
+    if (options.config.has("obs")) {
+        options.sweep.obs.enabled = true;
+        std::string path = options.config.getString("obs");
+        options.sweep.obs.tracePath =
+            (path == "true" || path == "1") ? "scmp_trace.json"
+                                            : path;
+    }
+    if (options.config.has("obs-series")) {
+        options.sweep.obs.enabled = true;
+        options.sweep.obs.seriesPath =
+            options.config.getString("obs-series");
+    }
+    if (options.config.has("obs-interval")) {
+        options.sweep.obs.enabled = true;
+        options.sweep.obs.intervalCycles =
+            options.config.getSize("obs-interval");
+        // Series sampled for the store even without a CSV path.
+        options.sweep.obs.captureSeries = true;
+    }
+    if (options.sweep.obs.enabled &&
+        options.sweep.obs.intervalCycles == 0)
+        options.sweep.obs.intervalCycles = obs::defaultObsInterval;
     sweep::setDefaultSweepOptions(options.sweep);
     // --check rides on the environment so every Machine built
     // anywhere in the sweep (including worker threads) attaches the
@@ -248,6 +277,10 @@ multiprogPoint(int procs, std::uint64_t sccBytes,
     machine.cpusPerCluster = procs;
     machine.scc.sizeBytes = sccBytes;
     machine.icache.enabled = true;
+    // Multiprog points run outside the sweep executor; apply the
+    // --obs options directly (no per-point path suffix needed — one
+    // multiprog point per bench run).
+    machine.obs = sweep::defaultSweepOptions().obs;
 
     MultiprogParams params;
     params.totalRefs = multiprogRefs(options);

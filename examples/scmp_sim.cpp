@@ -13,6 +13,8 @@
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
  *     [--icache=0|1] [--check] [--stats] [--csv]
+ *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
+ *   scmp_sim --list
  *     workload knobs:
  *       barnes:   [--bodies=N] [--steps=N] [--theta=X]
  *       mp3d:     [--particles=N] [--steps=N]
@@ -28,6 +30,13 @@
  * drives randomized sharing/false-sharing/eviction traffic at the
  * machine and prints its seed so failures replay with --seed=N.
  *
+ * --obs attaches the observability recorder (src/obs): a Chrome
+ * trace_event timeline (load the file in chrome://tracing or
+ * Perfetto), interval metrics (--obs-series CSV), and a per-phase
+ * cycle-attribution table keyed on barrier epochs. Unknown flags
+ * are an error: every flag must be one the selected workload or the
+ * machine model understands.
+ *
  * Examples:
  *   scmp_sim barnes --procs=8 --scc=128K
  *   scmp_sim mp3d --protocol=update --stats
@@ -37,6 +46,8 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <set>
 
 #include "check/checker.hh"
 #include "check/traffic.hh"
@@ -87,7 +98,94 @@ machineFromFlags(const Config &config)
     }
 
     machine.checkCoherence = config.getBool("check", false);
+
+    // Observability (src/obs). A bare --obs picks a default trace
+    // file name; --obs=FILE names it. --obs-series implies
+    // observation even without --obs.
+    if (config.has("obs")) {
+        std::string path = config.getString("obs");
+        machine.obs.enabled = true;
+        machine.obs.tracePath =
+            (path == "true" || path == "1") ? "scmp_trace.json"
+                                            : path;
+    }
+    if (config.has("obs-series")) {
+        machine.obs.enabled = true;
+        machine.obs.seriesPath = config.getString("obs-series");
+    }
+    if (config.has("obs-interval"))
+        machine.obs.intervalCycles = config.getSize("obs-interval");
+    if (machine.obs.enabled) {
+        if (machine.obs.intervalCycles == 0)
+            machine.obs.intervalCycles = obs::defaultObsInterval;
+        machine.obs.printPhases = !config.getBool("csv", false);
+    }
     return machine;
+}
+
+/** Flags the machine model / driver itself understands. */
+const std::set<std::string> &
+commonFlags()
+{
+    static const std::set<std::string> flags = {
+        "clusters", "procs", "scc", "line", "assoc", "banks",
+        "organization", "protocol", "bus-occupancy", "icache",
+        "check", "stats", "csv", "obs", "obs-interval",
+        "obs-series", "list",
+    };
+    return flags;
+}
+
+/** Per-workload flags (also the --list workload catalogue). */
+const std::map<std::string, std::set<std::string>> &
+workloadFlags()
+{
+    static const std::map<std::string, std::set<std::string>>
+        flags = {
+            {"barnes", {"bodies", "steps", "theta"}},
+            {"mp3d", {"particles", "steps"}},
+            {"cholesky", {"grid-rows", "grid-cols"}},
+            {"multiprog", {"refs", "quantum"}},
+            {"fuzz",
+             {"seed", "fuzz-steps", "hot-lines", "private-lines",
+              "write-frac", "shared-frac", "false-share-frac"}},
+        };
+    return flags;
+}
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: scmp_sim "
+                 "<barnes|mp3d|cholesky|multiprog|fuzz> [flags]\n"
+                 "       scmp_sim --list\n"
+                 "see the file header for the flag list\n");
+}
+
+int
+printList()
+{
+    std::printf("workloads:\n");
+    std::printf("  barnes     SPLASH Barnes-Hut N-body "
+                "(octree gravity)\n");
+    std::printf("  mp3d       SPLASH MP3D rarefied-flow "
+                "particle simulation\n");
+    std::printf("  cholesky   SPLASH sparse Cholesky "
+                "factorization\n");
+    std::printf("  multiprog  multiprogrammed SPEC-like apps, "
+                "round-robin scheduled\n");
+    std::printf("  fuzz       randomized coherence traffic "
+                "(pairs with --check)\n");
+    std::printf("protocols:\n");
+    std::printf("  invalidate MSI write-invalidate (default)\n");
+    std::printf("  update     Firefly-style write-update\n");
+    std::printf("organizations:\n");
+    std::printf("  shared     one SCC per cluster (the paper's "
+                "proposal, default)\n");
+    std::printf("  private    one cache per processor, all "
+                "snooping the bus\n");
+    return 0;
 }
 
 int
@@ -187,15 +285,36 @@ main(int argc, char **argv)
 {
     Config config;
     auto positional = config.parseArgs(argc, argv);
+    if (config.getBool("list", false))
+        return printList();
     if (positional.empty()) {
-        std::fprintf(stderr,
-                     "usage: scmp_sim "
-                     "<barnes|mp3d|cholesky|multiprog|fuzz> "
-                     "[flags]\n"
-                     "see the file header for the flag list\n");
+        printUsage(stderr);
         return 2;
     }
     std::string which = positional[0];
+
+    const auto &workloads = workloadFlags();
+    auto knownWorkload = workloads.find(which);
+    if (knownWorkload == workloads.end()) {
+        std::fprintf(stderr, "scmp_sim: unknown workload '%s'\n",
+                     which.c_str());
+        printUsage(stderr);
+        return 2;
+    }
+
+    // Reject flags neither the machine model nor the selected
+    // workload understands — a typo silently ignored is a sweep
+    // quietly running the wrong configuration.
+    for (const auto &[key, value] : config.entries()) {
+        if (commonFlags().count(key) ||
+            knownWorkload->second.count(key))
+            continue;
+        std::fprintf(stderr, "scmp_sim: unknown flag '--%s'\n",
+                     key.c_str());
+        printUsage(stderr);
+        return 2;
+    }
+
     MachineConfig machine = machineFromFlags(config);
     bool csv = config.getBool("csv", false);
     bool stats = config.getBool("stats", false);

@@ -40,7 +40,28 @@ done
 
 BENCHES="fig2_barnes fig3_mp3d fig4_cholesky"
 
+# Fail fast with a real explanation instead of a cmake stack trace
+# when pointed at a missing or bench-less build directory.
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+    echo "error: '$BUILD' is not a configured build directory" >&2
+    echo "  (no $BUILD/CMakeCache.txt — run: cmake -B $BUILD -S .)" >&2
+    exit 1
+fi
+if ! grep -q "^CMAKE_PROJECT_NAME:STATIC=scmp$" \
+        "$BUILD/CMakeCache.txt"; then
+    echo "error: '$BUILD' was not configured from this project" >&2
+    echo "  (point --build=DIR at a build of this repo)" >&2
+    exit 1
+fi
+
 cmake --build "$BUILD" --target $BENCHES >/dev/null
+
+for bench in $BENCHES; do
+    if [ ! -x "$BUILD/bench/$bench" ]; then
+        echo "error: bench executable '$BUILD/bench/$bench' missing after build" >&2
+        exit 1
+    fi
+done
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT

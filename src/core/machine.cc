@@ -77,6 +77,10 @@ Machine::Machine(const MachineConfig &config)
 
     if (_config.checkCoherence || check::envCheckRequested())
         enableChecker();
+
+    obs::applyEnv(_config.obs);
+    if (_config.obs.enabled)
+        enableObs();
 }
 
 Machine::~Machine()
@@ -85,6 +89,74 @@ Machine::~Machine()
     // walks still has its final state validated.
     if (_checker)
         _checker->fullWalk();
+    // A run that never called finishObs() still gets its outputs,
+    // closed at the last dispatch time the recorder saw.
+    if (_recorder)
+        _recorder->finish(_recorder->lastTick());
+}
+
+void
+Machine::enableObs()
+{
+    if (_recorder)
+        return;
+    _recorder = std::make_unique<obs::Recorder>(_config.obs);
+    obs::Recorder *r = _recorder.get();
+
+    // Interval-metric / phase-attribution columns. All cumulative
+    // counters here are exact integers (stats:: scalars), so the
+    // series' final row always equals the whole-run aggregates.
+    auto sumScc = [this](auto member) {
+        return [this, member]() -> std::uint64_t {
+            double total = 0;
+            for (const auto &scc : _sccs)
+                total += (scc.get()->*member).value();
+            return (std::uint64_t)total;
+        };
+    };
+    r->addCounter("busTransactions", [this] {
+        return (std::uint64_t)_bus->transactions.value();
+    });
+    r->addCounter("busWaitCycles", [this] {
+        return (std::uint64_t)_bus->waitCycles.value();
+    });
+    r->addCounter("invalidations", [this] {
+        return _bus->invalidationsPerformed();
+    });
+    r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
+    r->addCounter("readMisses",
+                  sumScc(&SharedClusterCache::readMisses));
+    r->addCounter("writeHits",
+                  sumScc(&SharedClusterCache::writeHits));
+    r->addCounter("writeMisses",
+                  sumScc(&SharedClusterCache::writeMisses));
+    r->addCounter("mergedMisses",
+                  sumScc(&SharedClusterCache::mergedMisses));
+    r->addCounter("bankConflictCycles",
+                  sumScc(&SharedClusterCache::bankConflictCycles));
+    r->addCounter("missStallCycles",
+                  sumScc(&SharedClusterCache::missStallCycles));
+    // Recorder-internal gauges/counters: these stay out of the
+    // stats:: tree on purpose so attaching observability can never
+    // change a stats dump.
+    r->addCounter("fastRefs", [r] { return r->fastRefs(); });
+    r->addGauge("mshrLive", [r] { return r->mshrLive(); });
+    r->seal();
+
+    _bus->setRecorder(r);
+    for (auto &scc : _sccs)
+        scc->setRecorder(r);
+    inform("observability recorder attached",
+           _config.obs.tracePath.empty()
+               ? ""
+               : " (trace " + _config.obs.tracePath + ")");
+}
+
+void
+Machine::finishObs(Cycle end)
+{
+    if (_recorder)
+        _recorder->finish(end);
 }
 
 void

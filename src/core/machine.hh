@@ -18,6 +18,7 @@
 #include "mem/bus.hh"
 #include "mem/icache.hh"
 #include "mem/scc.hh"
+#include "obs/recorder.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -85,6 +86,15 @@ struct MachineConfig
     /** Full tag sweep every N bus transactions (0 = every one). */
     std::uint64_t checkWalkInterval = 4096;
 
+    /**
+     * Observability recorder configuration (src/obs). Also driven
+     * by the SCMP_OBS family of environment variables, mirroring
+     * SCMP_CHECK. Like checkCoherence, this is instrumentation, not
+     * part of the simulated design point: it never enters the sweep
+     * point key and never perturbs simulated time.
+     */
+    obs::RecorderConfig obs;
+
     int totalCpus() const { return numClusters * cpusPerCluster; }
 
     /** Sanity-check user-supplied values; fatal on error. */
@@ -140,6 +150,20 @@ class Machine : public MemorySystem
     }
     /// @}
 
+    /// @name Observability (src/obs).
+    /// @{
+    /** Attach the recorder per config().obs; idempotent. */
+    void enableObs();
+    /** The attached recorder, or null when not observing. */
+    obs::Recorder *recorder() { return _recorder.get(); }
+    /**
+     * Close the recorder at the run's finish cycle: final interval
+     * sample, final phase snapshot, output files. Idempotent; the
+     * destructor falls back to the last dispatch time seen.
+     */
+    void finishObs(Cycle end);
+    /// @}
+
     /// @name Machine-wide metrics for the experiment harnesses.
     /// @{
     /** Read miss rate aggregated over all SCCs. */
@@ -173,6 +197,12 @@ class Machine : public MemorySystem
     /** Instruction fetch modelled at all (config.icache.enabled). */
     bool _ifetch = false;
     /// @}
+
+    /**
+     * Declared last: destroyed before everything its registered
+     * column closures read (bus, SCCs), never after.
+     */
+    std::unique_ptr<obs::Recorder> _recorder;
 };
 
 } // namespace scmp

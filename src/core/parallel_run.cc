@@ -29,7 +29,9 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
             workload.threadMain(ctx, cpu, topo);
         });
     }
+    engine.setRecorder(machine.recorder());
     engine.run();
+    machine.finishObs(engine.finishTime());
 
     RunResult result;
     result.cycles = engine.finishTime();
@@ -42,6 +44,8 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
         (std::uint64_t)machine.bus().transactions.value();
     result.busUtilization =
         machine.bus().utilization(result.cycles);
+    if (machine.recorder())
+        result.obsSeries = machine.recorder()->seriesJson();
     if (statsDump)
         machine.statsRoot().dump(*statsDump);
     if (statsJsonDump)

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <ostream>
+#include <string>
 
 #include "core/machine.hh"
 #include "core/workload.hh"
@@ -28,6 +29,14 @@ struct RunResult
     std::uint64_t busTransactions = 0;
     double busUtilization = 0;
     bool verified = false;
+
+    /**
+     * Interval-metrics series as columnar JSON, captured when the
+     * run's recorder has captureSeries set; empty otherwise. Not
+     * part of the simulated result — carries observability output
+     * to sweep's ResultStore.
+     */
+    std::string obsSeries;
 };
 
 /**

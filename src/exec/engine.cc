@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hh"
 #include "sim/debug.hh"
 
 namespace scmp
@@ -200,6 +201,9 @@ Engine::run()
 
         _current = next;
         seedMinOther();
+        Cycle sliceStart = next->time;
+        if (_recorder)
+            _recorder->tick(sliceStart);
         next->fiber->resume();
         _current = nullptr;
 
@@ -216,6 +220,9 @@ Engine::run()
         } else if (next->state == State::Ready) {
             pushReady(*next);
         }
+        if (_recorder)
+            _recorder->threadSlice(next->tid, sliceStart,
+                                   next->time);
     }
     _running = false;
 }
@@ -367,15 +374,21 @@ Engine::barrier(Thread &t, SimBarrier &bar)
     bar._latestArrival = std::max(bar._latestArrival, t.time);
 
     if (++bar._arrived < bar._expected) {
+        Cycle arrive = t.time;
         bar._waiters.push_back(t.tid);
         t.state = State::Blocked;
         yieldThread(t);
+        // Resumed at the release time; the wait spans the gap.
+        if (_recorder)
+            _recorder->barrierWait(t.tid, arrive, t.time);
         return;
     }
 
     // Last arrival releases everyone.
     Cycle releaseTime =
         bar._latestArrival + _options.barrierOverhead;
+    if (_recorder)
+        _recorder->barrierRelease(releaseTime, bar._expected);
     for (ThreadId waiter : bar._waiters)
         wakeThread(waiter, releaseTime);
     bar._waiters.clear();

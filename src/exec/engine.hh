@@ -30,6 +30,11 @@
 namespace scmp
 {
 
+namespace obs
+{
+class Recorder;
+}
+
 class Engine;
 class ThreadCtx;
 
@@ -180,6 +185,17 @@ class Engine
     /** Attach a scheduling policy (may be null). */
     void setPolicy(SchedulerPolicy *policy) { _policy = policy; }
 
+    /**
+     * Attach an observability recorder (may be null). Hooks are
+     * guarded by one branch on this pointer and observation never
+     * feeds back into timing.
+     */
+    void setRecorder(obs::Recorder *recorder)
+    {
+        _recorder = recorder;
+    }
+    obs::Recorder *recorder() const { return _recorder; }
+
     /** Run until every spawned thread has finished. */
     void run();
 
@@ -286,6 +302,7 @@ class Engine
     Arena *_arena;
     EngineOptions _options;
     SchedulerPolicy *_policy = nullptr;
+    obs::Recorder *_recorder = nullptr;
     std::vector<std::unique_ptr<Thread>> _threads;
     Thread *_current = nullptr;
     Cycle _finishTime = 0;

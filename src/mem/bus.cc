@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/coherence_observer.hh"
+#include "obs/recorder.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -64,9 +65,11 @@ SnoopyBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
     // Broadcast to every other client at the grant cycle.
     bool dirtySupplied = false;
     bool remoteCopy = false;
+    int snooped = 0;
     for (Snooper *snooper : _snoopers) {
         if (snooper->snooperId() == source)
             continue;
+        ++snooped;
         SnoopResult result = snooper->snoop(op, lineAddr, grant);
         if (result.invalidated)
             ++invalidations;
@@ -87,6 +90,11 @@ SnoopyBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
 
     _nextFree = grant + occupancy;
     _busyCycles += occupancy;
+
+    if (_recorder)
+        _recorder->busTransaction((int)source, busOpName(op),
+                                  lineAddr, now, grant, occupancy,
+                                  snooped, dirtySupplied);
 
     switch (op) {
       case BusOp::Read:

@@ -24,6 +24,11 @@ namespace scmp
 
 class CoherenceObserver;
 
+namespace obs
+{
+class Recorder;
+}
+
 /** Result of broadcasting a transaction to one snooper. */
 struct SnoopResult
 {
@@ -70,6 +75,15 @@ class SnoopyBus
     }
 
     /**
+     * Attach an observability recorder (src/obs). One branch per
+     * transaction when attached, nothing when null.
+     */
+    void setRecorder(obs::Recorder *recorder)
+    {
+        _recorder = recorder;
+    }
+
+    /**
      * Execute one transaction.
      *
      * @param source Requesting cluster (skipped during snooping).
@@ -102,6 +116,7 @@ class SnoopyBus
     BusParams _params;
     std::vector<Snooper *> _snoopers;
     CoherenceObserver *_observer = nullptr;
+    obs::Recorder *_recorder = nullptr;
     Cycle _nextFree = 0;
     Cycle _busyCycles = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -107,6 +108,10 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
                 ++readHits;
             else
                 ++writeHits;
+            if (_recorder)
+                _recorder->sccPortRef(
+                    _cluster, localCpu, refTypeName(type), addr,
+                    now, start + _params.bankOccupancy, true);
             return start;
         }
         break;  // armed but the state no longer permits the hit
@@ -117,12 +122,18 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
     Cycle start = std::max(now, bankFree);
     bankConflictCycles += start - now;
     bankFree = start + _params.bankOccupancy;
+    if (_recorder)
+        _recorder->sccPortRef(_cluster, localCpu,
+                              refTypeName(type), addr, now,
+                              bankFree, false);
 
     // Merge with an outstanding fill for this line, if any.
     if (Cycle *mshr = _mshrs.find(lineAddr)) {
         if (start < *mshr) {
             ++mergedMisses;
             Cycle ready = *mshr;
+            if (_recorder)
+                _recorder->mshrMerge(_cluster, lineAddr, start);
             missStallCycles += ready - start;
             // A write joining a read fill still needs to inform
             // the other caches (exclusivity or an update).
@@ -146,7 +157,12 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
             }
             return ready;
         }
+        // The fill completed in the past; the entry retires lazily
+        // here, at the first reference to find it expired.
+        Cycle expired = *mshr;
         _mshrs.erase(lineAddr);
+        if (_recorder)
+            _recorder->mshrRetire(_cluster, lineAddr, expired);
     }
 
     CacheLine *line = _tags.lookup(addr);
@@ -220,7 +236,8 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
     // requester does not wait on it beyond bus occupancy).
     CacheLine *victim = _tags.victim(lineAddr);
     if (victim->valid()) {
-        _mshrs.erase(victim->tag);
+        if (_mshrs.erase(victim->tag) && _recorder)
+            _recorder->mshrRetire(_cluster, victim->tag, now);
         if (victim->state == CoherenceState::Modified) {
             ++writeBacks;
             _bus->transaction(_cluster, BusOp::WriteBack, victim->tag,
@@ -266,13 +283,14 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
     if (_observer)
         _observer->onFill(_cluster, lineAddr, fillState);
     _mshrs.set(lineAddr, ready);
+    if (_recorder)
+        _recorder->mshrAlloc(_cluster, lineAddr, now, ready);
     return ready;
 }
 
 SnoopResult
 SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
 {
-    (void)when;
     SnoopResult result;
     CacheLine *line = _tags.probe(lineAddr);
     if (!line)
@@ -306,7 +324,8 @@ SharedClusterCache::snoop(BusOp op, Addr lineAddr, Cycle when)
                 _observer->onDirtyFlush(_cluster, lineAddr);
         }
         _tags.invalidate(lineAddr);
-        _mshrs.erase(lineAddr);
+        if (_mshrs.erase(lineAddr) && _recorder)
+            _recorder->mshrRetire(_cluster, lineAddr, when);
         flushFilters(lineAddr);
         if (_observer)
             _observer->onInvalidate(_cluster, lineAddr);

@@ -69,6 +69,16 @@ class SharedClusterCache : public Snooper
         _observer = observer;
     }
 
+    /**
+     * Attach an observability recorder (src/obs). Port references
+     * and MSHR lifecycle events are reported when attached; the
+     * reference fast path pays exactly one branch when not.
+     */
+    void setRecorder(obs::Recorder *recorder)
+    {
+        _recorder = recorder;
+    }
+
     /** Coherence state of the line containing @p addr (tests). */
     CoherenceState stateOf(Addr addr) const;
 
@@ -165,6 +175,7 @@ class SharedClusterCache : public Snooper
     SccParams _params;
     SnoopyBus *_bus;
     CoherenceObserver *_observer = nullptr;
+    obs::Recorder *_recorder = nullptr;
     TagArray _tags;
     std::vector<Cycle> _bankNextFree;
 

@@ -1,5 +1,6 @@
 #include "scheduler.hh"
 
+#include "obs/recorder.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -86,6 +87,9 @@ RoundRobinPolicy::dispatch(Engine &engine, CpuId cpu, Cycle when)
         if (engine.done(next))
             continue;
         Cycle start = when + engine.options().contextSwitchCost;
+        if (obs::Recorder *recorder = _machine.recorder())
+            recorder->quantumSwitch(
+                cpu, _running[(std::size_t)cpu], next, start);
         engine.bindCpu(next, cpu);
         engine.wakeThread(next, start);
         _quantumStart[(std::size_t)next] =
@@ -134,7 +138,9 @@ runMultiprog(MachineConfig config,
                              app->iterate(ctx);
                      });
     }
+    engine.setRecorder(machine.recorder());
     engine.run();
+    machine.finishObs(engine.finishTime());
 
     MultiprogResult result;
     result.cycles = engine.finishTime();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Timeline event model for the observability subsystem.
+ *
+ * Every instrumented point in the simulator (engine dispatch, bus
+ * arbitration, SCC ports, MSHR file, multiprog scheduler) emits
+ * fixed-size typed events into a per-source EventRing. Rings are
+ * single-writer append-only buffers with a hard capacity and a drop
+ * counter: the simulation is single-host-threaded (and each sweep
+ * worker owns its machine's recorder outright), so pushes need no
+ * synchronization, and a long run degrades gracefully — once a ring
+ * is full further events are counted and discarded instead of
+ * growing without bound.
+ *
+ * Events carry simulated cycles only; recording one never touches
+ * simulated state, so an instrumented run is bit-identical to an
+ * uninstrumented one.
+ */
+
+#ifndef SCMP_OBS_EVENT_HH
+#define SCMP_OBS_EVENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace scmp::obs
+{
+
+/** Instrumented subsystems, one ring each. */
+enum class Source : std::uint8_t
+{
+    Engine,  //!< fiber dispatch slices, barrier waits/releases
+    Bus,     //!< arbitration waits, occupancy, snoop fan-out
+    Scc,     //!< port grants (bank conflicts fold into duration)
+    Mshr,    //!< miss allocate / merge / retire
+    Sched,   //!< multiprogramming quantum switches
+};
+
+inline constexpr int numSources = 5;
+
+/** Stable lower-case name, used as the trace "cat" field. */
+const char *sourceName(Source source);
+
+/** What one event records. */
+enum class EventKind : std::uint8_t
+{
+    ThreadRun,       //!< engine: dispatch → yield slice of a fiber
+    BarrierWait,     //!< engine: barrier arrival → release
+    BarrierRelease,  //!< engine: instant; delimits workload phases
+    BusWait,         //!< bus: request → grant (arbitration delay)
+    BusOccupy,       //!< bus: grant → grant + occupancy
+    SnoopFanout,     //!< bus: instant at grant; arg = snoopers probed
+    PortRef,         //!< scc: request → bank free; dur > occupancy
+                     //!< means the reference lost bank arbitration
+    MshrAlloc,       //!< mshr: fill allocated → data-ready
+    MshrMerge,       //!< mshr: a second miss merged into the fill
+    MshrRetire,      //!< mshr: instant; entry left the table
+    QuantumSwitch,   //!< sched: instant; context switch on a cpu
+};
+
+const char *eventKindName(EventKind kind);
+
+/**
+ * One timeline event. Instant events have end == start. `label`
+ * points at a static string supplied by the instrumentation site
+ * (e.g. busOpName's result) so the trace writer can name events
+ * without the obs layer depending on mem/exec headers.
+ */
+struct Event
+{
+    Cycle start = 0;
+    Cycle end = 0;
+    Addr addr = 0;                   //!< line address, 0 if n/a
+    const char *label = nullptr;     //!< static detail string
+    std::uint32_t arg = 0;           //!< kind-specific payload
+    std::int16_t track = 0;          //!< lane within the source
+                                     //!< (port, cpu, thread id)
+    std::int16_t owner = 0;          //!< cluster id (Scc/Mshr), else 0
+    EventKind kind = EventKind::ThreadRun;
+};
+
+/** A capped single-writer event buffer with drop accounting. */
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity) : _capacity(capacity) {}
+
+    /** Append, or count a drop once the ring is at capacity. */
+    bool
+    push(const Event &event)
+    {
+        if (_events.size() >= _capacity) {
+            ++_dropped;
+            return false;
+        }
+        _events.push_back(event);
+        return true;
+    }
+
+    const std::vector<Event> &events() const { return _events; }
+    std::size_t capacity() const { return _capacity; }
+    std::uint64_t recorded() const { return _events.size(); }
+    std::uint64_t dropped() const { return _dropped; }
+
+  private:
+    std::size_t _capacity;
+    std::vector<Event> _events;
+    std::uint64_t _dropped = 0;
+};
+
+} // namespace scmp::obs
+
+#endif // SCMP_OBS_EVENT_HH

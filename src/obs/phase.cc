@@ -1,0 +1,89 @@
+#include "phase.hh"
+
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+namespace scmp::obs
+{
+
+std::vector<PhaseProfiler::Phase>
+PhaseProfiler::phases() const
+{
+    panic_if(!_finished, "phase list requested before finish()");
+    std::vector<Phase> out;
+    for (std::size_t i = 1; i < _snapshots.size(); ++i) {
+        const Snapshot &prev = _snapshots[i - 1];
+        const Snapshot &cur = _snapshots[i];
+        Phase phase;
+        phase.index = static_cast<int>(i - 1);
+        phase.start = prev.cycle;
+        phase.end = cur.cycle;
+        phase.deltas.reserve(cur.values.size());
+        for (std::size_t c = 0; c < cur.values.size(); ++c)
+            phase.deltas.push_back(cur.values[c] - prev.values[c]);
+        out.push_back(std::move(phase));
+    }
+    return out;
+}
+
+std::vector<std::string>
+PhaseProfiler::deltaNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_columns.size());
+    for (const Column &column : _columns)
+        names.push_back(column.name);
+    return names;
+}
+
+void
+PhaseProfiler::writeTable(std::ostream &os) const
+{
+    Table table("Per-phase cycle attribution (barrier epochs)");
+    std::vector<std::string> header{"phase", "start", "end",
+                                    "cycles"};
+    for (const std::string &name : deltaNames())
+        header.push_back(name);
+    table.setHeader(std::move(header));
+    for (const Phase &phase : phases()) {
+        std::vector<std::string> row;
+        row.push_back(Table::cell((std::uint64_t)phase.index));
+        row.push_back(Table::cell(phase.start));
+        row.push_back(Table::cell(phase.end));
+        row.push_back(Table::cell(phase.end - phase.start));
+        for (std::uint64_t delta : phase.deltas)
+            row.push_back(Table::cell(delta));
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+}
+
+std::string
+PhaseProfiler::toJson() const
+{
+    std::vector<std::string> names = deltaNames();
+    std::string out = "[";
+    bool first = true;
+    for (const Phase &phase : phases()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"phase\":" + std::to_string(phase.index);
+        out += ",\"start\":" + std::to_string(phase.start);
+        out += ",\"end\":" + std::to_string(phase.end);
+        out += ",\"cycles\":" +
+               std::to_string(phase.end - phase.start);
+        out += ",\"deltas\":{";
+        for (std::size_t c = 0; c < phase.deltas.size(); ++c) {
+            if (c)
+                out += ',';
+            out += '"' + names[c] +
+                   "\":" + std::to_string(phase.deltas[c]);
+        }
+        out += "}}";
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace scmp::obs

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Per-phase cycle attribution.
+ *
+ * The SPLASH workloads are barrier-structured: every ANL BARRIER
+ * release is a natural phase boundary, so the profiler needs no
+ * workload annotations — the engine reports each release and the
+ * profiler snapshots the registered counters there. At finish the
+ * boundary snapshots become phases: phase i spans [boundary i-1,
+ * boundary i), the last phase ends at the run's finish cycle, and
+ * the durations telescope, so they sum to the total execution time
+ * EXACTLY. Counter deltas between snapshots attribute bus traffic,
+ * misses, and stall cycles to the phase that generated them.
+ */
+
+#ifndef SCMP_OBS_PHASE_HH
+#define SCMP_OBS_PHASE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hh"
+#include "sim/types.hh"
+
+namespace scmp::obs
+{
+
+/** Barrier-epoch cycle-attribution profile. */
+class PhaseProfiler
+{
+  public:
+    /** Register a column (shared with the sampler's registry). */
+    void
+    addColumn(const Column &column)
+    {
+        _columns.push_back(column);
+    }
+
+    /** Snapshot at cycle 0, once every column is registered. */
+    void
+    seal()
+    {
+        if (_sealed)
+            return;
+        _sealed = true;
+        _snapshots.push_back(takeSnapshot(0));
+    }
+
+    /** A barrier released every waiter at @p when. */
+    void
+    boundary(Cycle when)
+    {
+        if (!_sealed)
+            seal();
+        // Release times are non-decreasing in a well-formed run;
+        // clamp defensively so durations can never go negative.
+        Cycle at = std::max(when, _snapshots.back().cycle);
+        _snapshots.push_back(takeSnapshot(at));
+    }
+
+    /** Close the final phase at the run's finish cycle. */
+    void
+    finish(Cycle end)
+    {
+        if (!_sealed)
+            seal();
+        boundary(end);
+        _finished = true;
+    }
+
+    /** One derived phase (valid after finish()). */
+    struct Phase
+    {
+        int index = 0;
+        Cycle start = 0;
+        Cycle end = 0;
+        /** Deltas of the cumulative columns over this phase. */
+        std::vector<std::uint64_t> deltas;
+    };
+
+    /** Barrier releases observed (phases = releases + 1). */
+    std::size_t boundaries() const
+    {
+        return _snapshots.empty() ? 0 : _snapshots.size() - 1;
+    }
+
+    /** Derive the phase list; call after finish(). */
+    std::vector<Phase> phases() const;
+
+    /** Names of the cumulative columns, in delta order. */
+    std::vector<std::string> deltaNames() const;
+
+    /** Pretty per-phase breakdown (sim/table.hh formatting). */
+    void writeTable(std::ostream &os) const;
+
+    /** JSON array of phase objects for the trace file. */
+    std::string toJson() const;
+
+  private:
+    struct Snapshot
+    {
+        Cycle cycle = 0;
+        std::vector<std::uint64_t> values;
+    };
+
+    Snapshot
+    takeSnapshot(Cycle at) const
+    {
+        Snapshot snap;
+        snap.cycle = at;
+        snap.values.reserve(_columns.size());
+        for (const Column &column : _columns)
+            snap.values.push_back(column.read());
+        return snap;
+    }
+
+    std::vector<Column> _columns;
+    std::vector<Snapshot> _snapshots;
+    bool _sealed = false;
+    bool _finished = false;
+};
+
+} // namespace scmp::obs
+
+#endif // SCMP_OBS_PHASE_HH

@@ -1,0 +1,42 @@
+#include "sampler.hh"
+
+namespace scmp::obs
+{
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const Column &column : _columns)
+        os << ',' << column.name;
+    os << '\n';
+    for (const Row &row : _rows) {
+        os << row.cycle;
+        for (std::uint64_t value : row.values)
+            os << ',' << value;
+        os << '\n';
+    }
+}
+
+std::string
+IntervalSampler::toJson() const
+{
+    std::string out = "{\"columns\":[\"cycle\"";
+    for (const Column &column : _columns)
+        out += ",\"" + column.name + "\"";
+    out += "],\"rows\":[";
+    bool firstRow = true;
+    for (const Row &row : _rows) {
+        if (!firstRow)
+            out += ',';
+        firstRow = false;
+        out += '[' + std::to_string(row.cycle);
+        for (std::uint64_t value : row.values)
+            out += ',' + std::to_string(value);
+        out += ']';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace scmp::obs

@@ -66,11 +66,12 @@ hashMachineConfig(const MachineConfig &config)
 
     h.mix((std::uint64_t)config.arenaBytes);
 
-    // checkCoherence / checkWalkInterval are deliberately NOT
-    // hashed: the checker observes the simulation without altering
-    // any simulated result, so a checked and an unchecked run of
-    // the same configuration are the same design point and may
-    // serve each other's stored records.
+    // checkCoherence / checkWalkInterval and the obs recorder
+    // config are deliberately NOT hashed: both observe the
+    // simulation without altering any simulated result, so a
+    // checked/observed and a plain run of the same configuration
+    // are the same design point and may serve each other's stored
+    // records.
     return h.value();
 }
 

@@ -52,6 +52,8 @@ ResultStore::serialize(const StoredPoint &point)
 
     if (!point.statsJson.empty())
         out += ",\"stats\":" + point.statsJson;
+    if (!point.series.empty())
+        out += ",\"series\":" + point.series;
     out += "}";
     return out;
 }
@@ -155,6 +157,8 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
 
     const Json *stats = doc.find("stats");
     point.statsJson = stats ? stats->dump() : "";
+    const Json *series = doc.find("series");
+    point.series = series ? series->dump() : "";
     return true;
 }
 

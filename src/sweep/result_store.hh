@@ -42,6 +42,8 @@ struct StoredPoint
     RunResult result;
     double wallMs = 0;          //!< host wall time of the simulation
     std::string statsJson;      //!< optional hierarchical stats dump
+    /** Optional interval-metrics series (src/obs columnar JSON). */
+    std::string series;
 };
 
 /** The JSON-lines store behind --results / --resume. */

@@ -28,6 +28,22 @@ msSince(Clock::time_point start)
         .count();
 }
 
+/**
+ * Suffix an observability output path with a point's key (before
+ * the extension) so concurrent workers write distinct files.
+ */
+std::string
+pointedPath(const std::string &path, std::uint64_t key)
+{
+    std::string tag = "-" + keyHex(key);
+    std::size_t dot = path.find_last_of('.');
+    std::size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 } // namespace
 
 void
@@ -78,6 +94,16 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
             task.sccBytes = size;
             task.key = pointKey(task.config, workloadName,
                                 _options.scale);
+            if (_options.obs.enabled) {
+                obs::RecorderConfig obsConfig = _options.obs;
+                if (!obsConfig.tracePath.empty())
+                    obsConfig.tracePath = pointedPath(
+                        obsConfig.tracePath, task.key);
+                if (!obsConfig.seriesPath.empty())
+                    obsConfig.seriesPath = pointedPath(
+                        obsConfig.seriesPath, task.key);
+                task.config.obs = obsConfig;
+            }
             tasks.push_back(std::move(task));
         }
     }
@@ -154,6 +180,7 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
             record.result = result;
             record.wallMs = wallMs;
             record.statsJson = statsJson.str();
+            record.series = result.obsSeries;
             store.append(record);
         }
 

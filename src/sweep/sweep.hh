@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/design_space.hh"
+#include "obs/recorder.hh"
 #include "sweep/result_store.hh"
 
 namespace scmp::sweep
@@ -56,6 +57,15 @@ struct SweepOptions
      * see stats::Group::dumpJson) to its store record.
      */
     bool attachStats = false;
+
+    /**
+     * Observability (src/obs) applied to every point's machine.
+     * File paths are suffixed with each point's key so concurrent
+     * workers never collide; with captureSeries set, each point's
+     * interval-metrics series lands in its store record. Never part
+     * of the point key — resumed sweeps match either way.
+     */
+    obs::RecorderConfig obs;
 };
 
 /** Counters describing what one run() actually did. */
