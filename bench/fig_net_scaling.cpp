@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Interconnect scaling study: clusters × topology.
+ *
+ * The paper stops at four clusters on one atomic snoopy bus; this
+ * figure asks what happens past that. Barnes-Hut runs over
+ * {1,2,4,8} clusters on each src/net fabric — the paper's atomic
+ * bus, a split-transaction bus, and a hierarchical tree of leaf
+ * segments behind a snoop-filter directory — and reports execution
+ * time, fabric utilization, and bus transactions per point. With
+ * --results the sweep lands in a ResultStore (each record tagged
+ * with its clusters/net axes); with --obs-interval the per-channel
+ * occupancy series ride along, which is the data behind the
+ * per-topology occupancy curves scripts/sweep_plot.py renders.
+ *
+ * Extra flags on top of bench_common:
+ *   --clusters=1,2,4,8   cluster-count axis
+ *   --segments=N         tree leaf segments (default 2)
+ *   --arbitration=rr|priority  split-bus discipline (default rr)
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scmp;
+    auto options = bench::parseBenchArgs(argc, argv);
+
+    std::vector<int> clusterCounts = {1, 2, 4, 8};
+    if (options.config.has("clusters")) {
+        clusterCounts.clear();
+        for (std::uint64_t v : bench::parseSizeList(
+                 options.config.getString("clusters")))
+            clusterCounts.push_back((int)v);
+    }
+    const std::vector<NetTopology> topologies = {
+        NetTopology::Atomic, NetTopology::Split, NetTopology::Tree};
+
+    MachineConfig base;
+    base.cpusPerCluster = 4;
+    base.scc.sizeBytes = 64 << 10;
+    base.net.segments =
+        (int)options.config.getInt("segments", 2);
+    std::string arbitration =
+        options.config.getString("arbitration", "rr");
+    fatal_if(!parseNetArbitration(arbitration,
+                                  &base.net.arbitration),
+             "--arbitration must be 'rr' or 'priority'");
+    // The study is about fabric contention, so give transfers a
+    // realistic occupancy (the paper's near-zero default would make
+    // every topology look identical).
+    base.bus.transferOccupancy =
+        (Cycle)options.config.getInt("bus-occupancy", 8);
+
+    auto points = DesignSpace::netScalingSweep(
+        bench::barnesFactory(options), base, clusterCounts,
+        topologies, options.sweep.verbose);
+
+    auto pointAt = [&](NetTopology topology,
+                       int clusters) -> const NetPoint & {
+        for (const NetPoint &p : points) {
+            if (p.topology == topology && p.clusters == clusters)
+                return p;
+        }
+        fatal("net scaling point missing from sweep");
+    };
+
+    Table time("Interconnect scaling: execution time (cycles), "
+               "Barnes 4P/cluster, 64KB SCC");
+    time.setHeader({"Clusters", "atomic", "split", "tree",
+                    "tree/atomic"});
+    for (int clusters : clusterCounts) {
+        const NetPoint &a = pointAt(NetTopology::Atomic, clusters);
+        const NetPoint &s = pointAt(NetTopology::Split, clusters);
+        const NetPoint &t = pointAt(NetTopology::Tree, clusters);
+        time.addRow({Table::cell((std::uint64_t)clusters),
+                     Table::cell(a.result.cycles),
+                     Table::cell(s.result.cycles),
+                     Table::cell(t.result.cycles),
+                     Table::cell((double)t.result.cycles /
+                                     (double)a.result.cycles,
+                                 3)});
+    }
+    bench::emit(time, options);
+
+    Table util("Interconnect scaling: fabric utilization");
+    util.setHeader({"Clusters", "atomic", "split", "tree",
+                    "busTx (atomic)"});
+    for (int clusters : clusterCounts) {
+        const NetPoint &a = pointAt(NetTopology::Atomic, clusters);
+        const NetPoint &s = pointAt(NetTopology::Split, clusters);
+        const NetPoint &t = pointAt(NetTopology::Tree, clusters);
+        util.addRow({Table::cell((std::uint64_t)clusters),
+                     Table::cell(a.result.busUtilization, 4),
+                     Table::cell(s.result.busUtilization, 4),
+                     Table::cell(t.result.busUtilization, 4),
+                     Table::cell(a.result.busTransactions)});
+    }
+    bench::emit(util, options);
+    return 0;
+}

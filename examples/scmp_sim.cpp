@@ -12,6 +12,8 @@
  *     [--clusters=N] [--procs=N] [--scc=SIZE] [--line=SIZE]
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
+ *     [--net=atomic|split|tree] [--segments=N]
+ *     [--arbitration=rr|priority]
  *     [--icache=0|1] [--check] [--stats] [--csv]
  *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
  *   scmp_sim --list
@@ -97,6 +99,23 @@ machineFromFlags(const Config &config)
         fatal("--protocol must be 'invalidate' or 'update'");
     }
 
+    // Interconnect topology (src/net). The default is the paper's
+    // atomic snoopy bus; --segments and --arbitration refine the
+    // tree and split fabrics respectively.
+    std::string net = config.getString("net", "atomic");
+    if (!parseNetTopology(net, &machine.net.topology)) {
+        fatal("--net must be 'atomic', 'split' or 'tree' (got '",
+              net, "'); see --list");
+    }
+    machine.net.segments = (int)config.getInt("segments", 2);
+    std::string arbitration =
+        config.getString("arbitration", "rr");
+    if (!parseNetArbitration(arbitration,
+                             &machine.net.arbitration)) {
+        fatal("--arbitration must be 'rr' or 'priority' (got '",
+              arbitration, "')");
+    }
+
     machine.checkCoherence = config.getBool("check", false);
 
     // Observability (src/obs). A bare --obs picks a default trace
@@ -129,7 +148,8 @@ commonFlags()
 {
     static const std::set<std::string> flags = {
         "clusters", "procs", "scc", "line", "assoc", "banks",
-        "organization", "protocol", "bus-occupancy", "icache",
+        "organization", "protocol", "bus-occupancy", "net",
+        "segments", "arbitration", "icache",
         "check", "stats", "csv", "obs", "obs-interval",
         "obs-series", "list",
     };
@@ -185,6 +205,13 @@ printList()
                 "proposal, default)\n");
     std::printf("  private    one cache per processor, all "
                 "snooping the bus\n");
+    std::printf("interconnects (--net):\n");
+    std::printf("  atomic     single atomic snoopy bus (the "
+                "paper's, default)\n");
+    std::printf("  split      split-transaction bus "
+                "(--arbitration=rr|priority)\n");
+    std::printf("  tree       leaf bus segments + root bus with "
+                "snoop filter (--segments=N)\n");
     return 0;
 }
 

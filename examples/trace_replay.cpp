@@ -9,6 +9,13 @@
  * Usage:
  *   trace_replay [--bodies=N] [--steps=N] [--procs=N]
  *                [--trace=/tmp/scmp.trace]
+ *                [--obs[=FILE]] [--obs-interval=N]
+ *                [--obs-series=FILE]
+ *
+ * --obs attaches the src/obs recorder to every replayed machine
+ * (output paths suffixed with the SCC size), so a replayed run
+ * produces the same timelines and interval series a live run
+ * does.
  */
 
 #include <cstdio>
@@ -60,6 +67,38 @@ main(int argc, char **argv)
                     (unsigned long long)engine.finishTime());
     }
 
+    // Observability for the replay sweep: one recorder per
+    // replayed machine, file outputs suffixed per SCC size so the
+    // four replays don't clobber each other.
+    obs::RecorderConfig obsConfig;
+    if (config.has("obs")) {
+        std::string obsPath = config.getString("obs");
+        obsConfig.enabled = true;
+        obsConfig.tracePath =
+            (obsPath == "true" || obsPath == "1")
+                ? "scmp_replay_trace.json"
+                : obsPath;
+    }
+    if (config.has("obs-series")) {
+        obsConfig.enabled = true;
+        obsConfig.seriesPath = config.getString("obs-series");
+    }
+    if (config.has("obs-interval")) {
+        obsConfig.enabled = true;
+        obsConfig.intervalCycles = config.getSize("obs-interval");
+    }
+    if (obsConfig.enabled && obsConfig.intervalCycles == 0)
+        obsConfig.intervalCycles = obs::defaultObsInterval;
+    auto suffixed = [](const std::string &file,
+                       const std::string &tag) {
+        if (file.empty())
+            return file;
+        std::size_t dot = file.find_last_of('.');
+        if (dot == std::string::npos)
+            return file + "-" + tag;
+        return file.substr(0, dot) + "-" + tag + file.substr(dot);
+    };
+
     // 2. Replay the one trace against a cache-size sweep.
     std::printf("\n%-10s %14s %12s %14s\n", "SCC", "cycles",
                 "rd-miss", "invalidations");
@@ -67,6 +106,13 @@ main(int argc, char **argv)
          {8ull << 10, 32ull << 10, 128ull << 10, 512ull << 10}) {
         MachineConfig replayConfig = recordConfig;
         replayConfig.scc.sizeBytes = scc;
+        if (obsConfig.enabled) {
+            replayConfig.obs = obsConfig;
+            replayConfig.obs.tracePath = suffixed(
+                obsConfig.tracePath, sizeString(scc));
+            replayConfig.obs.seriesPath = suffixed(
+                obsConfig.seriesPath, sizeString(scc));
+        }
         Machine machine(replayConfig);
         TraceReader reader(path);
         auto result = replayTrace(machine, reader);

@@ -80,6 +80,14 @@ class DesignGrid
     std::unordered_map<std::uint64_t, std::size_t> _index;
 };
 
+/** One evaluated clusters × topology point (src/net study). */
+struct NetPoint
+{
+    int clusters = 0;
+    NetTopology topology = NetTopology::Atomic;
+    RunResult result;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -112,6 +120,24 @@ class DesignSpace
           const std::vector<std::uint64_t> &sccSizes,
           const std::vector<int> &clusterSizes,
           bool verbose = false);
+
+    /**
+     * The interconnect scaling study: run the workload over
+     * {cluster count} × {net topology} at a fixed SCC geometry,
+     * through the same result-store/resume/obs plumbing as
+     * sweep(). Points are keyed like any other design point (the
+     * non-default NetParams enter the hash), and each stored
+     * record carries its "clusters"/"net" axes. Defined in
+     * scmp_sweep.
+     *
+     * @param base Template config; numClusters and net.topology
+     *             are overridden per point.
+     */
+    static std::vector<NetPoint> netScalingSweep(
+        const WorkloadFactory &factory, MachineConfig base,
+        const std::vector<int> &clusterCounts,
+        const std::vector<NetTopology> &topologies,
+        bool verbose = false);
 
     /**
      * Figure 2/3/4 view: normalized execution time, one row per

@@ -16,13 +16,22 @@ MachineConfig::check() const
     fatal_if(scc.lineBytes == 0 || !isPowerOf2(scc.lineBytes),
              "SCC line size must be a power of two");
     fatal_if(arenaBytes == 0, "arena must be non-empty");
+    fatal_if(net.segments <= 0,
+             "--segments must be at least one");
 }
 
 Machine::Machine(const MachineConfig &config)
     : _config(config), _root("system")
 {
     _config.check();
-    _bus = std::make_unique<SnoopyBus>(&_root, _config.bus);
+    // The fabric needs the cache count up front (the tree lays out
+    // its cache→segment map before the SCCs attach).
+    int plannedCaches =
+        _config.organization == ClusterOrganization::SharedCache
+            ? _config.numClusters
+            : _config.totalCpus();
+    _bus = makeInterconnect(&_root, _config.bus, _config.net,
+                            plannedCaches);
 
     if (_config.organization == ClusterOrganization::SharedCache) {
         for (int c = 0; c < _config.numClusters; ++c) {
@@ -123,6 +132,17 @@ Machine::enableObs()
     r->addCounter("invalidations", [this] {
         return _bus->invalidationsPerformed();
     });
+    // Per-channel fabric occupancy: "bus" for the atomic bus,
+    // req/resp phases for the split bus, root plus every leaf
+    // segment for the tree. Cumulative busy cycles, so the series'
+    // final row integrates back to the whole-run utilization.
+    for (int ch = 0; ch < _bus->numChannels(); ++ch) {
+        r->addCounter(
+            std::string(_bus->channelName(ch)) + "BusyCycles",
+            [this, ch] {
+                return (std::uint64_t)_bus->channelBusyCycles(ch);
+            });
+    }
     r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
     r->addCounter("readMisses",
                   sumScc(&SharedClusterCache::readMisses));

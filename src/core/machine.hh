@@ -68,6 +68,8 @@ struct MachineConfig
 
     SccParams scc;
     BusParams bus;
+    /** Which fabric carries the bus ops (src/net). */
+    NetParams net;
     ICacheParams icache;
     EngineOptions engine;
 
@@ -130,8 +132,8 @@ class Machine : public MemorySystem
     SharedClusterCache &scc(ClusterId cluster);
     const SharedClusterCache &scc(ClusterId cluster) const;
     ICache &icache(CpuId cpu);
-    SnoopyBus &bus() { return *_bus; }
-    const SnoopyBus &bus() const { return *_bus; }
+    Interconnect &bus() { return *_bus; }
+    const Interconnect &bus() const { return *_bus; }
     stats::Group &statsRoot() { return _root; }
     /// @}
 
@@ -179,7 +181,7 @@ class Machine : public MemorySystem
   private:
     MachineConfig _config;
     stats::Group _root;
-    std::unique_ptr<SnoopyBus> _bus;
+    std::unique_ptr<Interconnect> _bus;
     std::vector<std::unique_ptr<stats::Group>> _clusterGroups;
     std::vector<std::unique_ptr<SharedClusterCache>> _sccs;
     std::vector<std::unique_ptr<ICache>> _icaches;

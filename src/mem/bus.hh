@@ -1,142 +1,19 @@
 /**
  * @file
- * The shared snoopy bus connecting the SCCs and main memory.
+ * Compatibility header: the snoopy bus now lives in src/net.
  *
- * A single arbiter serializes transactions; every transaction
- * broadcasts to all other attached snoopers (the SCCs), which
- * invalidate or supply data per the MSI write-invalidate protocol.
- * Line fetches complete a fixed memoryLatency after winning the
- * bus, whether memory or a remote SCC supplies the line — the
- * paper's assumption.
+ * The paper's atomic bus was extracted behind the Interconnect
+ * interface (net/interconnect.hh) as AtomicBus, alongside the
+ * split-transaction and hierarchical fabrics. This header keeps
+ * the historical include path and the SnoopyBus name working for
+ * the directed tests and micro benches.
  */
 
 #ifndef SCMP_MEM_BUS_HH
 #define SCMP_MEM_BUS_HH
 
-#include <vector>
-
 #include "mem/cache_params.hh"
-#include "sim/stats.hh"
-#include "sim/types.hh"
-
-namespace scmp
-{
-
-class CoherenceObserver;
-
-namespace obs
-{
-class Recorder;
-}
-
-/** Result of broadcasting a transaction to one snooper. */
-struct SnoopResult
-{
-    bool hadCopy = false;        //!< snooper held the line
-    bool suppliedDirty = false;  //!< snooper held it Modified
-    bool invalidated = false;    //!< snooper dropped its copy
-};
-
-/** Interface every bus client implements to observe transactions. */
-class Snooper
-{
-  public:
-    virtual ~Snooper() = default;
-
-    /**
-     * React to another client's transaction.
-     * @param op       The transaction kind.
-     * @param lineAddr Line-aligned address.
-     * @param when     Bus-grant cycle of the transaction.
-     */
-    virtual SnoopResult snoop(BusOp op, Addr lineAddr,
-                              Cycle when) = 0;
-
-    /** Identifier used to skip self-snooping. */
-    virtual ClusterId snooperId() const = 0;
-};
-
-/** The inter-cluster snoopy bus plus main memory timing. */
-class SnoopyBus
-{
-  public:
-    SnoopyBus(stats::Group *parent, const BusParams &params);
-
-    /** Register a snooping client (an SCC). */
-    void attach(Snooper *snooper);
-
-    /**
-     * Attach a correctness observer (src/check). Notified after
-     * every transaction's snoop broadcast; null detaches.
-     */
-    void setObserver(CoherenceObserver *observer)
-    {
-        _observer = observer;
-    }
-
-    /**
-     * Attach an observability recorder (src/obs). One branch per
-     * transaction when attached, nothing when null.
-     */
-    void setRecorder(obs::Recorder *recorder)
-    {
-        _recorder = recorder;
-    }
-
-    /**
-     * Execute one transaction.
-     *
-     * @param source Requesting cluster (skipped during snooping).
-     * @param op     Transaction kind.
-     * @param lineAddr Line-aligned address.
-     * @param now    Request cycle.
-     * @param remoteCopyOut Optional: set to true when any other
-     *         snooper held the line (drives exclusive-fill and
-     *         last-copy decisions in the update protocol).
-     * @return cycle at which the requester's miss data is ready;
-     *         address-only ops (Upgrade/Update) return the grant
-     *         cycle and WriteBack returns the grant cycle
-     *         (write-buffered).
-     */
-    Cycle transaction(ClusterId source, BusOp op, Addr lineAddr,
-                      Cycle now, bool *remoteCopyOut = nullptr);
-
-    /** Count of invalidations actually performed system-wide. */
-    std::uint64_t invalidationsPerformed() const
-    {
-        return (std::uint64_t)invalidations.value();
-    }
-
-    const BusParams &params() const { return _params; }
-
-    /** Fraction of cycles the bus was occupied up to @p now. */
-    double utilization(Cycle now) const;
-
-  private:
-    BusParams _params;
-    std::vector<Snooper *> _snoopers;
-    CoherenceObserver *_observer = nullptr;
-    obs::Recorder *_recorder = nullptr;
-    Cycle _nextFree = 0;
-    Cycle _busyCycles = 0;
-
-    stats::Group statsGroup;
-
-  public:
-    /// @name Statistics
-    /// @{
-    stats::Scalar transactions;
-    stats::Scalar reads;
-    stats::Scalar readExcls;
-    stats::Scalar upgrades;
-    stats::Scalar updates;
-    stats::Scalar writeBacks;
-    stats::Scalar invalidations;
-    stats::Scalar interventions;  //!< dirty lines supplied by SCCs
-    stats::Scalar waitCycles;     //!< cycles spent arbitrating
-    /// @}
-};
-
-} // namespace scmp
+#include "net/atomic_bus.hh"
+#include "net/interconnect.hh"
 
 #endif // SCMP_MEM_BUS_HH

@@ -14,17 +14,4 @@ coherenceStateName(CoherenceState state)
     return "?";
 }
 
-const char *
-busOpName(BusOp op)
-{
-    switch (op) {
-      case BusOp::Read: return "Read";
-      case BusOp::ReadExcl: return "ReadExcl";
-      case BusOp::Upgrade: return "Upgrade";
-      case BusOp::Update: return "Update";
-      case BusOp::WriteBack: return "WriteBack";
-    }
-    return "?";
-}
-
 } // namespace scmp

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "net/net_params.hh"
 #include "sim/types.hh"
 
 namespace scmp
@@ -68,27 +69,9 @@ struct SccParams
     bool fastPath = true;
 };
 
-/**
- * Snoopy inter-cluster bus timing.
- *
- * The paper's simulator uses a FIXED 100-cycle line-fetch latency
- * and models contention only at the SCC banks, so the faithful
- * default is a fully-pipelined bus (near-zero occupancy). The
- * occupancy knobs enable the bus-contention ablation study
- * (bench/ablation_bus), which shows how a real 1990s bus would
- * cap the 32-processor configurations.
- */
-struct BusParams
-{
-    /** Fixed line-fetch latency from memory or a remote SCC. */
-    Cycle memoryLatency = 100;
-
-    /** Bus cycles consumed by a line transfer transaction. */
-    Cycle transferOccupancy = 1;
-
-    /** Bus cycles consumed by an address-only transaction. */
-    Cycle addressOccupancy = 1;
-};
+// BusParams (the paper's fixed bus timing) moved to
+// net/net_params.hh with the rest of the interconnect vocabulary;
+// re-exported through the include above.
 
 /** Per-processor instruction cache. */
 struct ICacheParams
@@ -116,19 +99,6 @@ enum class CoherenceState : std::uint8_t
 
 /** Human-readable state name (debug/trace output). */
 const char *coherenceStateName(CoherenceState state);
-
-/** Bus transaction kinds for the snoopy protocol. */
-enum class BusOp : std::uint8_t
-{
-    Read,       //!< read miss — fetch a shared copy
-    ReadExcl,   //!< write miss — fetch an exclusive copy
-    Upgrade,    //!< write hit on Shared — invalidate other copies
-    Update,     //!< write-update broadcast of new data
-    WriteBack,  //!< evicted Modified line returns to memory
-};
-
-/** Human-readable bus op name. */
-const char *busOpName(BusOp op);
 
 } // namespace scmp
 

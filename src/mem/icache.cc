@@ -7,7 +7,7 @@ namespace scmp
 
 ICache::ICache(stats::Group *parent, const std::string &name,
                ClusterId cluster, const ICacheParams &params,
-               SnoopyBus *bus)
+               Interconnect *bus)
     : _params(params), _cluster(cluster), _bus(bus),
       _tags(params.sizeBytes, params.lineBytes, 1),
       statsGroup(parent, name),

@@ -41,7 +41,7 @@ class ICache
      */
     ICache(stats::Group *parent, const std::string &name,
            ClusterId cluster, const ICacheParams &params,
-           SnoopyBus *bus);
+           Interconnect *bus);
 
     /**
      * Point the synthetic PC at a (new) code segment. Called at
@@ -74,7 +74,7 @@ class ICache
 
     ICacheParams _params;
     ClusterId _cluster;
-    SnoopyBus *_bus;
+    Interconnect *_bus;
     TagArray _tags;
     Addr _codeBase = 0;
     std::uint64_t _footprint = 0;

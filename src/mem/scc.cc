@@ -12,7 +12,7 @@ namespace scmp
 SharedClusterCache::SharedClusterCache(stats::Group *parent,
                                        ClusterId cluster, int numCpus,
                                        const SccParams &params,
-                                       SnoopyBus *bus)
+                                       Interconnect *bus)
     : _cluster(cluster), _params(params), _bus(bus),
       _tags(params.sizeBytes, params.lineBytes, params.assoc),
       _bankNextFree((std::size_t)numCpus * params.banksPerCpu, 0),

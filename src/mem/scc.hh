@@ -37,11 +37,11 @@ class SharedClusterCache : public Snooper
      * @param cluster  This cluster's id (bus snoop identity).
      * @param numCpus  Processors sharing this cache.
      * @param params   Geometry/timing.
-     * @param bus      The inter-cluster snoopy bus.
+     * @param bus      The inter-cluster interconnect.
      */
     SharedClusterCache(stats::Group *parent, ClusterId cluster,
                        int numCpus, const SccParams &params,
-                       SnoopyBus *bus);
+                       Interconnect *bus);
 
     /**
      * Perform a data reference from a processor in this cluster.
@@ -173,7 +173,7 @@ class SharedClusterCache : public Snooper
 
     ClusterId _cluster;
     SccParams _params;
-    SnoopyBus *_bus;
+    Interconnect *_bus;
     CoherenceObserver *_observer = nullptr;
     obs::Recorder *_recorder = nullptr;
     TagArray _tags;

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hierarchical interconnect: leaf bus segments under a root bus.
+ *
+ * The caches are split into N contiguous leaf segments, each with
+ * its own snoopy bus; a root bus joins the segments and owns the
+ * path to memory. An inclusive snoop-filter directory at the
+ * junction records, per line, which segments may hold a copy, so
+ * a transaction only crosses the root into segments whose presence
+ * bit is set — local sharing never leaves its segment, and the
+ * root stops scaling with the cache count. This is the
+ * hierarchical-cluster direction of Chen et al. applied to the
+ * paper's SCC machine.
+ */
+
+#ifndef SCMP_NET_TREE_HH
+#define SCMP_NET_TREE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/interconnect.hh"
+
+namespace scmp
+{
+
+/** N leaf bus segments joined by a root bus with a snoop filter. */
+class HierarchicalNet : public Interconnect
+{
+  public:
+    HierarchicalNet(stats::Group *parent, const BusParams &params,
+                    const NetParams &net, int numCaches);
+
+    Cycle transaction(ClusterId source, BusOp op, Addr lineAddr,
+                      Cycle now, bool *remoteCopyOut = nullptr)
+        override;
+
+    const char *topologyName() const override { return "tree"; }
+
+    double utilization(Cycle now) const override;
+
+    int numChannels() const override { return 1 + _segments; }
+    const char *channelName(int channel) const override
+    {
+        return _channelNames[(std::size_t)channel].c_str();
+    }
+    Cycle channelBusyCycles(int channel) const override
+    {
+        return channel == 0 ? _rootBusy
+                            : _segBusy[(std::size_t)(channel - 1)];
+    }
+
+    /** Leaf segments actually configured (clamped to the caches). */
+    int segments() const { return _segments; }
+
+    /** Leaf segment holding cache @p cache. */
+    int segmentOf(int cache) const
+    {
+        return _segOfCache[(std::size_t)cache];
+    }
+
+    /**
+     * Snoop-filter presence mask for @p lineAddr (bit s = segment s
+     * may hold a copy). Inclusive: a stale 1 costs a filtered
+     * snoop, a missing 1 would break coherence. Exposed for the
+     * directed cross-segment tests.
+     */
+    std::uint32_t presenceMask(Addr lineAddr) const;
+
+    /// @name Tree statistics (absent on atomic configs).
+    /// @{
+    stats::Scalar rootTransactions;  //!< transactions crossing root
+    stats::Scalar rootWaitCycles;    //!< cycles waiting for root
+    stats::Scalar crossSegSnoops;    //!< remote segments snooped
+    stats::Scalar snoopsFiltered;    //!< cache probes filter saved
+    /// @}
+
+  private:
+    NetParams _net;
+    int _numCaches;
+    int _segments;
+
+    /** Cache index → owning segment (contiguous, balanced). */
+    std::vector<int> _segOfCache;
+    /** Segment s covers caches [_segFirst[s], _segFirst[s+1]). */
+    std::vector<std::size_t> _segFirst;
+
+    std::vector<Cycle> _segFree;
+    std::vector<Cycle> _segBusy;
+    Cycle _rootFree = 0;
+    Cycle _rootBusy = 0;
+
+    /** Inclusive directory: line → segment presence bitmask. */
+    std::unordered_map<Addr, std::uint32_t> _presence;
+
+    std::vector<std::string> _channelNames;
+};
+
+} // namespace scmp
+
+#endif // SCMP_NET_TREE_HH

@@ -51,6 +51,18 @@ hashMachineConfig(const MachineConfig &config)
     h.mix(bus.transferOccupancy);
     h.mix(bus.addressOccupancy);
 
+    // The interconnect axis is hashed ONLY off the default atomic
+    // topology: with the atomic bus the other NetParams fields have
+    // no effect on the simulation, and every store/fixture key
+    // captured before src/net existed must keep resolving.
+    const NetParams &net = config.net;
+    if (net.topology != NetTopology::Atomic) {
+        h.mix((std::uint64_t)net.topology);
+        h.mix((std::uint64_t)net.segments);
+        h.mix((std::uint64_t)net.arbitration);
+        h.mix(net.arbLatency);
+    }
+
     const ICacheParams &icache = config.icache;
     h.mix((std::uint64_t)icache.enabled);
     h.mix(icache.sizeBytes);

@@ -33,6 +33,12 @@ ResultStore::serialize(const StoredPoint &point)
     out += ",\"scale\":" + jsonQuote(point.scale);
     out += ",\"procs\":" + std::to_string(point.cpusPerCluster);
     out += ",\"scc\":" + std::to_string(point.sccBytes);
+    // Optional axes: omitted when unset so records from before
+    // these fields existed serialize (and hash-compare) the same.
+    if (point.clusters)
+        out += ",\"clusters\":" + std::to_string(point.clusters);
+    if (!point.net.empty())
+        out += ",\"net\":" + jsonQuote(point.net);
     out += ",\"wallMs\":" + jsonNumber(point.wallMs);
 
     const RunResult &r = point.result;
@@ -115,6 +121,10 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     point.scale = scale->asString();
     point.cpusPerCluster = (int)procs->asU64();
     point.sccBytes = scc->asU64();
+    const Json *clusters = doc.find("clusters");
+    point.clusters = clusters ? (int)clusters->asU64() : 0;
+    const Json *net = doc.find("net");
+    point.net = net ? net->asString() : "";
     point.wallMs = wallMs->asDouble();
 
     RunResult &r = point.result;

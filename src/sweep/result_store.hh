@@ -39,6 +39,13 @@ struct StoredPoint
     std::string scale;          //!< run scale tag (quick/default/full)
     int cpusPerCluster = 0;
     std::uint64_t sccBytes = 0;
+    /**
+     * Optional axes (serialized only when set, so stores written
+     * before they existed still parse): cluster count for scaling
+     * studies, interconnect topology name for src/net sweeps.
+     */
+    int clusters = 0;
+    std::string net;
     RunResult result;
     double wallMs = 0;          //!< host wall time of the simulation
     std::string statsJson;      //!< optional hierarchical stats dump

@@ -301,4 +301,100 @@ DesignSpace::sweep(const WorkloadFactory &factory,
     return executor.run(factory, base, sccSizes, clusterSizes);
 }
 
+std::vector<NetPoint>
+DesignSpace::netScalingSweep(
+    const WorkloadFactory &factory, MachineConfig base,
+    const std::vector<int> &clusterCounts,
+    const std::vector<NetTopology> &topologies, bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+
+    const std::string workloadName = factory()->name();
+
+    sweep::ResultStore store;
+    if (!options.resultsPath.empty())
+        store.open(options.resultsPath, options.resume);
+
+    std::vector<NetPoint> points;
+    points.reserve(clusterCounts.size() * topologies.size());
+    for (NetTopology topology : topologies) {
+        for (int clusters : clusterCounts) {
+            MachineConfig config = base;
+            config.numClusters = clusters;
+            config.net.topology = topology;
+            std::uint64_t key = sweep::pointKey(
+                config, workloadName, options.scale);
+
+            NetPoint point;
+            point.clusters = clusters;
+            point.topology = topology;
+
+            const sweep::StoredPoint *stored =
+                options.resume && store.isOpen()
+                    ? store.find(key)
+                    : nullptr;
+            if (stored) {
+                fatal_if(
+                    stored->workload != workloadName ||
+                        stored->clusters != clusters ||
+                        stored->net != netTopologyName(topology),
+                    "results file '", options.resultsPath,
+                    "' record ", sweep::keyHex(key),
+                    " does not match its key's configuration ",
+                    "(key collision or corrupt store)");
+                point.result = stored->result;
+                points.push_back(std::move(point));
+                continue;
+            }
+
+            if (options.obs.enabled) {
+                obs::RecorderConfig obsConfig = options.obs;
+                if (!obsConfig.tracePath.empty())
+                    obsConfig.tracePath = sweep::pointedPath(
+                        obsConfig.tracePath, key);
+                if (!obsConfig.seriesPath.empty())
+                    obsConfig.seriesPath = sweep::pointedPath(
+                        obsConfig.seriesPath, key);
+                config.obs = obsConfig;
+            }
+
+            auto workload = factory();
+            workload->reseed(key);
+            std::ostringstream statsJson;
+            auto pointStart = sweep::Clock::now();
+            point.result = runParallel(
+                config, *workload, nullptr, nullptr,
+                options.attachStats ? &statsJson : nullptr);
+            double wallMs = sweep::msSince(pointStart);
+
+            if (store.isOpen()) {
+                sweep::StoredPoint record;
+                record.key = key;
+                record.workload = workloadName;
+                record.scale = options.scale;
+                record.cpusPerCluster = config.cpusPerCluster;
+                record.sccBytes = config.scc.sizeBytes;
+                record.clusters = clusters;
+                record.net = netTopologyName(topology);
+                record.result = point.result;
+                record.wallMs = wallMs;
+                record.statsJson = statsJson.str();
+                record.series = point.result.obsSeries;
+                store.append(record);
+            }
+            if (options.verbose) {
+                inform("net sweep: ", workloadName, " ",
+                       netTopologyName(topology), " x", clusters,
+                       " clusters -> ", point.result.cycles,
+                       " cycles, busUtil=",
+                       point.result.busUtilization, " (", wallMs,
+                       " ms)");
+            }
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
 } // namespace scmp

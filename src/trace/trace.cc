@@ -134,6 +134,14 @@ replayTrace(Machine &machine, TraceReader &reader)
     std::vector<Cycle> clocks(
         (std::size_t)machine.config().totalCpus(), 0);
 
+    // Observability parity with live runs: the engine normally
+    // advances the recorder at every dispatch; here each replayed
+    // reference advances it (the tick is monotone-guarded, so the
+    // interleaved per-CPU clocks are safe), and the run is closed
+    // at the final cycle so interval series and phase tables come
+    // out exactly as a live run's would.
+    obs::Recorder *recorder = machine.recorder();
+
     ReplayResult result;
     TraceRecord record;
     while (reader.next(record)) {
@@ -146,12 +154,15 @@ replayTrace(Machine &machine, TraceReader &reader)
         clock = machine.access((CpuId)record.cpu,
                                record.refType(), record.addr,
                                clock, record.gap);
+        if (recorder)
+            recorder->tick(clock);
         ++result.references;
     }
     for (Cycle clock : clocks)
         result.cycles = std::max(result.cycles, clock);
     result.readMissRate = machine.readMissRate();
     result.invalidations = machine.invalidations();
+    machine.finishObs(result.cycles);
     return result;
 }
 

@@ -3,11 +3,14 @@
  * check_fuzz_smoke — the fuzz matrix the CI gate runs.
  *
  * Three fixed seeds x {1,2,4,8} processors per cluster x two SCC
- * sizes, each under the coherence checker, for both protocols. A
- * plain binary (not gtest) so it exercises exactly what a user's
- * shell invocation of `scmp_sim fuzz --check` would: any oracle or
- * invariant violation panics and fails the test. Fixed seeds keep
- * the gate deterministic; exploratory fuzzing with fresh seeds is
+ * sizes, each under the coherence checker, for both protocols —
+ * and the whole grid again for every interconnect topology
+ * (atomic, split, tree), since the checker's oracle must hold no
+ * matter which fabric orders the transactions. A plain binary (not
+ * gtest) so it exercises exactly what a user's shell invocation of
+ * `scmp_sim fuzz --check` would: any oracle or invariant violation
+ * panics and fails the test. Fixed seeds keep the gate
+ * deterministic; exploratory fuzzing with fresh seeds is
  * scripts/check_all.sh's job.
  */
 
@@ -34,42 +37,63 @@ main()
         CoherenceProtocol::WriteInvalidate,
         CoherenceProtocol::WriteUpdate,
     };
+    const NetTopology topologies[] = {
+        NetTopology::Atomic,
+        NetTopology::Split,
+        NetTopology::Tree,
+    };
 
     int runs = 0;
     std::uint64_t totalChecks = 0;
-    for (std::uint64_t seed : seeds) {
-        for (int p : procs) {
-            for (std::uint64_t scc : sccSizes) {
-                for (CoherenceProtocol protocol : protocols) {
-                    MachineConfig config;
-                    config.numClusters = 2;
-                    config.cpusPerCluster = p;
-                    config.scc.sizeBytes = scc;
-                    config.scc.protocol = protocol;
-                    config.checkCoherence = true;
+    for (NetTopology topology : topologies) {
+        int topologyRuns = 0;
+        for (std::uint64_t seed : seeds) {
+            for (int p : procs) {
+                for (std::uint64_t scc : sccSizes) {
+                    for (CoherenceProtocol protocol : protocols) {
+                        MachineConfig config;
+                        // Four clusters under the tree so its two
+                        // leaf segments each hold a pair of
+                        // genuinely snooping caches; the flat
+                        // fabrics keep the seed gate's original
+                        // two-cluster shape.
+                        config.numClusters =
+                            topology == NetTopology::Tree ? 4 : 2;
+                        config.cpusPerCluster = p;
+                        config.scc.sizeBytes = scc;
+                        config.scc.protocol = protocol;
+                        config.net.topology = topology;
+                        config.net.segments = 2;
+                        config.checkCoherence = true;
 
-                    Machine machine(config);
-                    check::TrafficParams params;
-                    params.seed = seed;
-                    params.steps = 15000;
-                    params.totalCpus = config.totalCpus();
-                    params.lineBytes = config.scc.lineBytes;
-                    check::TrafficGen(params).run(machine);
+                        Machine machine(config);
+                        check::TrafficParams params;
+                        params.seed = seed;
+                        params.steps = 15000;
+                        params.totalCpus = config.totalCpus();
+                        params.lineBytes = config.scc.lineBytes;
+                        check::TrafficGen(params).run(machine);
 
-                    std::uint64_t checks =
-                        machine.checker()->checksPerformed();
-                    if (checks == 0) {
-                        std::fprintf(stderr,
-                                     "FAIL: no checks performed "
-                                     "(seed %llu procs %d)\n",
-                                     (unsigned long long)seed, p);
-                        return 1;
+                        std::uint64_t checks =
+                            machine.checker()->checksPerformed();
+                        if (checks == 0) {
+                            std::fprintf(
+                                stderr,
+                                "FAIL: no checks performed "
+                                "(net %s seed %llu procs %d)\n",
+                                netTopologyName(topology),
+                                (unsigned long long)seed, p);
+                            return 1;
+                        }
+                        totalChecks += checks;
+                        ++runs;
+                        ++topologyRuns;
                     }
-                    totalChecks += checks;
-                    ++runs;
                 }
             }
         }
+        std::printf("fuzz smoke [%s]: %d runs clean\n",
+                    netTopologyName(topology), topologyRuns);
     }
     std::printf("fuzz smoke: %d runs clean, %llu checks\n", runs,
                 (unsigned long long)totalChecks);
