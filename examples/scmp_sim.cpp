@@ -13,7 +13,9 @@
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
  *     [--net=atomic|split|tree] [--segments=N]
- *     [--arbitration=rr|priority]
+ *     [--arbitration=rr|priority] [--sf-cap=N]
+ *     [--mem=flat|banked] [--channels=N] [--mem-banks=N]
+ *     [--mem-sched=fcfs|frfcfs]
  *     [--icache=0|1] [--check] [--stats] [--csv]
  *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
  *   scmp_sim --list
@@ -115,6 +117,25 @@ machineFromFlags(const Config &config)
         fatal("--arbitration must be 'rr' or 'priority' (got '",
               arbitration, "')");
     }
+    machine.net.snoopFilterCapacity =
+        (std::uint64_t)config.getInt("sf-cap", 0);
+
+    // Memory backend (src/dram). The default is the paper's flat
+    // fixed-latency memory; --mem=banked enables the channels x
+    // banks open-row model. --mem-banks names the DRAM banks axis
+    // (--banks is already the SCC banks-per-processor knob).
+    std::string mem = config.getString("mem", "flat");
+    if (!parseMemBackend(mem, &machine.dram.kind)) {
+        fatal("--mem must be 'flat' or 'banked' (got '", mem,
+              "'); see --list");
+    }
+    machine.dram.channels = (int)config.getInt("channels", 2);
+    machine.dram.banks = (int)config.getInt("mem-banks", 4);
+    std::string memSched = config.getString("mem-sched", "fcfs");
+    if (!parseMemSched(memSched, &machine.dram.sched)) {
+        fatal("--mem-sched must be 'fcfs' or 'frfcfs' (got '",
+              memSched, "')");
+    }
 
     machine.checkCoherence = config.getBool("check", false);
 
@@ -149,7 +170,8 @@ commonFlags()
     static const std::set<std::string> flags = {
         "clusters", "procs", "scc", "line", "assoc", "banks",
         "organization", "protocol", "bus-occupancy", "net",
-        "segments", "arbitration", "icache",
+        "segments", "arbitration", "sf-cap",
+        "mem", "channels", "mem-banks", "mem-sched", "icache",
         "check", "stats", "csv", "obs", "obs-interval",
         "obs-series", "list",
     };
@@ -211,7 +233,16 @@ printList()
     std::printf("  split      split-transaction bus "
                 "(--arbitration=rr|priority)\n");
     std::printf("  tree       leaf bus segments + root bus with "
-                "snoop filter (--segments=N)\n");
+                "snoop filter (--segments=N,\n"
+                "             bound it with --sf-cap=N: LRU "
+                "eviction + back-invalidation)\n");
+    std::printf("memory backends (--mem):\n");
+    std::printf("  flat       fixed-latency memory (the paper's, "
+                "default)\n");
+    std::printf("  banked     channels x banks open-row DRAM "
+                "(--channels=N --mem-banks=N\n"
+                "             --mem-sched=fcfs|frfcfs; NUMA "
+                "segments under --net=tree)\n");
     return 0;
 }
 

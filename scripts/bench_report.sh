@@ -2,7 +2,8 @@
 # bench_report.sh — measure the figure benches and write a JSON
 # performance report.
 #
-# Runs the three main figure reproductions at --quick scale, records
+# Runs the main figure reproductions (the paper's three figures
+# plus the memory-scaling study) at --quick scale, records
 # the end-to-end wall time of each bench and, per design point, the
 # wall time and simulated-cycles-per-second (from the sweep result
 # store's `cycles` and `wallMs` fields), and writes everything to a
@@ -38,7 +39,7 @@ for arg in "$@"; do
     esac
 done
 
-BENCHES="fig2_barnes fig3_mp3d fig4_cholesky"
+BENCHES="fig2_barnes fig3_mp3d fig4_cholesky fig_mem_scaling"
 
 # Fail fast with a real explanation instead of a cmake stack trace
 # when pointed at a missing or bench-less build directory.
@@ -93,7 +94,8 @@ import subprocess
 import sys
 
 tmp, out, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
-benches = ["fig2_barnes", "fig3_mp3d", "fig4_cholesky"]
+benches = ["fig2_barnes", "fig3_mp3d", "fig4_cholesky",
+           "fig_mem_scaling"]
 
 report = {
     "schema": 1,

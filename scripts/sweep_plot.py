@@ -6,6 +6,10 @@ each record is one design point (workload, scale, procs, sccBytes,
 optional clusters/net axes, and the RunResult payload). This script
 turns a store into line charts:
 
+  * mem-scaling stores (records tagged with "mem"/"channels"/
+    "banks"/"memSched", as written by fig_mem_scaling or
+    DesignSpace::memScalingSweep): one curve per channels/scheduler
+    combination over the banks-per-channel axis.
   * net-scaling stores (records tagged with "clusters"/"net", as
     written by fig_net_scaling or DesignSpace::netScalingSweep):
     one curve per interconnect topology over the cluster axis.
@@ -19,7 +23,8 @@ is skipped with a note otherwise, never an error.
 
 Usage: scripts/sweep_plot.py RESULTS.jsonl [--out=PREFIX]
            [--metric=cycles|readMissRate|missRate|busUtilization|
-                     busTransactions|invalidations]
+                     busTransactions|invalidations|dramFills|
+                     dramRowHitRate]
            [--png]
 """
 
@@ -64,7 +69,17 @@ def series_from_store(records, metric):
     Returns (series, xlabel) where series maps a legend label to a
     sorted point list.
     """
-    if any(r.get("net") for r in records):
+    if any(r.get("mem") for r in records):
+        series = defaultdict(list)
+        for r in records:
+            if not r.get("mem") or not r.get("banks"):
+                continue
+            label = (f"{r.get('channels', '?')}ch/"
+                     f"{r.get('memSched', '?')}")
+            series[label].append(
+                (r["banks"], metric_of(r, metric)))
+        xlabel = "banks per channel"
+    elif any(r.get("net") for r in records):
         series = defaultdict(list)
         for r in records:
             if not r.get("net") or not r.get("clusters"):

@@ -26,6 +26,16 @@
  * masking exactly the lost-write-back bugs the oracle exists to
  * catch.
  *
+ * The split survives src/dram unchanged: memory backends are pure
+ * TIMING models (they answer when a fill's data is ready, never
+ * what it is), so no matter how many banked channels or NUMA
+ * segments the interconnect times fills against, the functional
+ * story stays one golden map plus one shadow main memory. The
+ * backend count is an interconnect detail the oracle never sees —
+ * which is also why bounded-snoop-filter back-invalidations are
+ * checkable: the eviction probe reports the same dirty-flush and
+ * invalidate events a normal remote ReadExcl would.
+ *
  * Granularity: values live per 8-byte word; shadow copies are keyed
  * by cache line and carry the line's words sparsely (absent word ==
  * never-written == value 0, matching the flat memory's default).

@@ -88,6 +88,15 @@ struct NetPoint
     RunResult result;
 };
 
+/** One evaluated channels × banks × sched point (src/dram study). */
+struct MemPoint
+{
+    int channels = 0;
+    int banks = 0;
+    MemSched sched = MemSched::Fcfs;
+    RunResult result;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -137,6 +146,22 @@ class DesignSpace
         const WorkloadFactory &factory, MachineConfig base,
         const std::vector<int> &clusterCounts,
         const std::vector<NetTopology> &topologies,
+        bool verbose = false);
+
+    /**
+     * The memory scaling study: run the workload over {channels} ×
+     * {banks per channel} × {scheduler} with the banked DRAM
+     * backend, through the same result-store/resume/obs plumbing
+     * as sweep(). base.dram supplies the timing and row geometry;
+     * kind is forced to Banked per point and each stored record
+     * carries its "mem"/"channels"/"banks"/"memSched" axes.
+     * Defined in scmp_sweep.
+     */
+    static std::vector<MemPoint> memScalingSweep(
+        const WorkloadFactory &factory, MachineConfig base,
+        const std::vector<int> &channelCounts,
+        const std::vector<int> &bankCounts,
+        const std::vector<MemSched> &scheds,
         bool verbose = false);
 
     /**

@@ -18,6 +18,16 @@ MachineConfig::check() const
     fatal_if(arenaBytes == 0, "arena must be non-empty");
     fatal_if(net.segments <= 0,
              "--segments must be at least one");
+    if (dram.kind == MemBackendKind::Banked) {
+        fatal_if(dram.channels <= 0,
+                 "--channels must be at least one");
+        fatal_if(dram.banks <= 0,
+                 "--mem-banks must be at least one");
+        fatal_if(!isPowerOf2(dram.rowBytes),
+                 "DRAM row size must be a power of two");
+        fatal_if(dram.rowBytes < scc.lineBytes,
+                 "DRAM rows must cover at least one cache line");
+    }
 }
 
 Machine::Machine(const MachineConfig &config)
@@ -31,7 +41,7 @@ Machine::Machine(const MachineConfig &config)
             ? _config.numClusters
             : _config.totalCpus();
     _bus = makeInterconnect(&_root, _config.bus, _config.net,
-                            plannedCaches);
+                            _config.dram, plannedCaches);
 
     if (_config.organization == ClusterOrganization::SharedCache) {
         for (int c = 0; c < _config.numClusters; ++c) {
@@ -142,6 +152,31 @@ Machine::enableObs()
             [this, ch] {
                 return (std::uint64_t)_bus->channelBusyCycles(ch);
             });
+    }
+    // Memory-backend series: fills, row-buffer hits, and per-channel
+    // occupancy per backend. The flat backend exposes no channels
+    // and counts nothing, so default machines gain no columns here.
+    for (int m = 0; m < _bus->numMemories(); ++m) {
+        const MemoryBackend &mem = _bus->memory(m);
+        if (mem.numChannels() == 0)
+            continue;
+        std::string prefix =
+            _bus->numMemories() > 1 ? "mem" + std::to_string(m)
+                                    : "mem";
+        r->addCounter(prefix + "Fills", [this, m] {
+            return _bus->memory(m).fills();
+        });
+        r->addCounter(prefix + "RowHits", [this, m] {
+            return _bus->memory(m).rowHits();
+        });
+        for (int ch = 0; ch < mem.numChannels(); ++ch) {
+            r->addCounter(
+                prefix + "Ch" + std::to_string(ch) + "BusyCycles",
+                [this, m, ch] {
+                    return (std::uint64_t)_bus->memory(m)
+                        .channelBusyCycles(ch);
+                });
+        }
     }
     r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
     r->addCounter("readMisses",

@@ -70,6 +70,8 @@ struct MachineConfig
     BusParams bus;
     /** Which fabric carries the bus ops (src/net). */
     NetParams net;
+    /** Which memory backend times line fetches (src/dram). */
+    DramParams dram;
     ICacheParams icache;
     EngineOptions engine;
 

@@ -44,6 +44,15 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
         (std::uint64_t)machine.bus().transactions.value();
     result.busUtilization =
         machine.bus().utilization(result.cycles);
+    double weightedHitRate = 0;
+    for (int m = 0; m < machine.bus().numMemories(); ++m) {
+        const MemoryBackend &mem = machine.bus().memory(m);
+        result.dramFills += mem.fills();
+        weightedHitRate += mem.rowHitRate() * (double)mem.fills();
+    }
+    if (result.dramFills)
+        result.dramRowHitRate =
+            weightedHitRate / (double)result.dramFills;
     if (machine.recorder())
         result.obsSeries = machine.recorder()->seriesJson();
     if (statsDump)

@@ -31,6 +31,15 @@ struct RunResult
     bool verified = false;
 
     /**
+     * Banked-DRAM metrics, summed over every backend the fabric
+     * owns. Zero with the flat backend (it counts nothing), and
+     * serialized only when non-zero so stored default records stay
+     * byte-identical.
+     */
+    std::uint64_t dramFills = 0;
+    double dramRowHitRate = 0;
+
+    /**
      * Interval-metrics series as columnar JSON, captured when the
      * run's recorder has captureSeries set; empty otherwise. Not
      * part of the simulated result — carries observability output

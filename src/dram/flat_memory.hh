@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's memory model: every fetch costs a fixed latency.
+ *
+ * This is BusParams::memoryLatency moved behind the MemoryBackend
+ * interface, verbatim: fill() returns now + latency, writebacks
+ * vanish into an infinite write buffer, and no state or statistics
+ * exist — a default (flat) machine simulates and dumps exactly as
+ * it did before src/dram existed.
+ */
+
+#ifndef SCMP_DRAM_FLAT_MEMORY_HH
+#define SCMP_DRAM_FLAT_MEMORY_HH
+
+#include "dram/memory_backend.hh"
+
+namespace scmp
+{
+
+/** Fixed-latency, contention-free main memory (the default). */
+class FlatMemory : public MemoryBackend
+{
+  public:
+    explicit FlatMemory(Cycle latency) : _latency(latency) {}
+
+    Cycle fill(Addr lineAddr, Cycle now) override
+    {
+        (void)lineAddr;
+        return now + _latency;
+    }
+
+    void writeBack(Addr lineAddr, Cycle now) override
+    {
+        (void)lineAddr;
+        (void)now;
+    }
+
+    const char *backendName() const override { return "flat"; }
+
+  private:
+    Cycle _latency;
+};
+
+} // namespace scmp
+
+#endif // SCMP_DRAM_FLAT_MEMORY_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The memory timing backend behind the interconnect (src/dram).
+ *
+ * Every fabric in src/net used to terminate a line fetch by adding
+ * BusParams::memoryLatency to its final grant. MemoryBackend lifts
+ * that constant into an interface: the fabric hands the backend a
+ * line address and the cycle its transaction won the path to
+ * memory, and the backend answers when the line's data is ready.
+ * FlatMemory reproduces the paper's fixed latency verbatim (and is
+ * the default, so golden fixtures stay bit-identical); BankedDram
+ * models channels x banks with open-row state and per-channel
+ * scheduling, turning memory contention into a design-space axis.
+ *
+ * Backends are timing-only, like the caches: no data payload moves
+ * through them. The coherence oracle's shadow DRAM (src/check)
+ * remains the single functional memory no matter how many channels
+ * or NUMA segments time the fills.
+ */
+
+#ifndef SCMP_DRAM_MEMORY_BACKEND_HH
+#define SCMP_DRAM_MEMORY_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dram/dram_params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** Timing model for main memory behind one fabric (or segment). */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /**
+     * Fetch one line.
+     *
+     * @param lineAddr Line-aligned address.
+     * @param now Cycle the fabric's transaction won its path to
+     *        memory (the grant the flat model added memoryLatency
+     *        to).
+     * @return cycle at which the line's data is ready.
+     */
+    virtual Cycle fill(Addr lineAddr, Cycle now) = 0;
+
+    /**
+     * Absorb an evicted dirty line. Write-buffered: the requester
+     * never waits, but a banked backend's bank/channel occupancy
+     * delays later fills that collide with it.
+     */
+    virtual void writeBack(Addr lineAddr, Cycle now) = 0;
+
+    /** Short backend name ("flat", "banked"). */
+    virtual const char *backendName() const = 0;
+
+    /// @name Occupancy/row-buffer introspection (obs + benches).
+    /// The flat backend is stateless and exposes no channels, so
+    /// attaching observability to a default machine adds no
+    /// columns.
+    /// @{
+    virtual int numChannels() const { return 0; }
+    virtual int banksPerChannel() const { return 0; }
+    virtual Cycle channelBusyCycles(int channel) const
+    {
+        (void)channel;
+        return 0;
+    }
+    virtual Cycle bankBusyCycles(int channel, int bank) const
+    {
+        (void)channel;
+        (void)bank;
+        return 0;
+    }
+    virtual std::uint64_t fills() const { return 0; }
+    virtual std::uint64_t rowHits() const { return 0; }
+    /** Row-buffer hits / fills; 0 when nothing was filled. */
+    virtual double rowHitRate() const { return 0.0; }
+    /// @}
+};
+
+/**
+ * Build the backend selected by @p dram.
+ *
+ * @param parent Stats parent for the banked model's counters (the
+ *        flat backend creates no stats at all, keeping default
+ *        stats dumps byte-identical).
+ * @param name Stats-group name, also the obs column prefix — the
+ *        tree instantiates one backend per segment ("mem0"...).
+ * @param flatLatency Fixed fill latency for the flat backend
+ *        (BusParams::memoryLatency, the paper's 100 cycles).
+ */
+std::unique_ptr<MemoryBackend> makeMemoryBackend(
+    stats::Group *parent, const std::string &name,
+    Cycle flatLatency, const DramParams &dram);
+
+} // namespace scmp
+
+#endif // SCMP_DRAM_MEMORY_BACKEND_HH

@@ -10,8 +10,10 @@
 namespace scmp
 {
 
-AtomicBus::AtomicBus(stats::Group *parent, const BusParams &params)
-    : Interconnect(parent, params)
+AtomicBus::AtomicBus(stats::Group *parent, const BusParams &params,
+                     const DramParams &dram)
+    : Interconnect(parent, params, dram),
+      _memory(addBackend("mem"))
 {
 }
 
@@ -59,11 +61,16 @@ AtomicBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
     switch (op) {
       case BusOp::Read:
       case BusOp::ReadExcl:
-        // Fixed line-fetch latency from grant, per the paper.
-        return grant + _params.memoryLatency;
+        // Line fetch from the memory backend; the flat default is
+        // a fixed memoryLatency from grant, per the paper.
+        return _memory->fill(lineAddr, grant);
+      case BusOp::WriteBack:
+        // Write-buffered: the backend absorbs the line whenever
+        // its bank frees up, the requester never waits.
+        _memory->writeBack(lineAddr, grant);
+        return grant;
       case BusOp::Upgrade:
       case BusOp::Update:
-      case BusOp::WriteBack:
         return grant;
     }
     panic("unreachable bus op");

@@ -23,7 +23,8 @@ namespace scmp
 class AtomicBus : public Interconnect
 {
   public:
-    AtomicBus(stats::Group *parent, const BusParams &params);
+    AtomicBus(stats::Group *parent, const BusParams &params,
+              const DramParams &dram = DramParams{});
 
     Cycle transaction(ClusterId source, BusOp op, Addr lineAddr,
                       Cycle now, bool *remoteCopyOut = nullptr)
@@ -40,6 +41,7 @@ class AtomicBus : public Interconnect
     }
 
   private:
+    MemoryBackend *_memory;
     Cycle _nextFree = 0;
     Cycle _busyCycles = 0;
 };

@@ -69,8 +69,10 @@ parseNetArbitration(const std::string &text, NetArbitration *out)
 }
 
 Interconnect::Interconnect(stats::Group *parent,
-                           const BusParams &params)
+                           const BusParams &params,
+                           const DramParams &dram)
     : _params(params),
+      _dram(dram),
       statsGroup(parent, "bus"),
       transactions(&statsGroup, "transactions",
                    "total bus transactions"),
@@ -93,6 +95,14 @@ void
 Interconnect::attach(Snooper *snooper)
 {
     _snoopers.push_back(snooper);
+}
+
+MemoryBackend *
+Interconnect::addBackend(const std::string &name)
+{
+    _memories.push_back(makeMemoryBackend(
+        &statsGroup, name, _params.memoryLatency, _dram));
+    return _memories.back().get();
 }
 
 const char *
@@ -140,16 +150,17 @@ Interconnect::snoopRange(std::size_t first, std::size_t last,
 
 std::unique_ptr<Interconnect>
 makeInterconnect(stats::Group *parent, const BusParams &bus,
-                 const NetParams &net, int numCaches)
+                 const NetParams &net, const DramParams &dram,
+                 int numCaches)
 {
     switch (net.topology) {
       case NetTopology::Atomic:
-        return std::make_unique<AtomicBus>(parent, bus);
+        return std::make_unique<AtomicBus>(parent, bus, dram);
       case NetTopology::Split:
-        return std::make_unique<SplitBus>(parent, bus, net);
+        return std::make_unique<SplitBus>(parent, bus, net, dram);
       case NetTopology::Tree:
         return std::make_unique<HierarchicalNet>(parent, bus, net,
-                                                 numCaches);
+                                                 numCaches, dram);
     }
     panic("unreachable net topology");
 }

@@ -5,10 +5,12 @@
  * Every topology implements the same contract the paper's snoopy
  * bus established: a transaction serializes at some arbitration
  * point, broadcasts to the snoopers that may hold the line, and
- * line fetches complete a fixed memoryLatency after the winning
- * grant. Implementations differ only in where contention queues
- * form (one atomic bus, split request/response channels, or leaf
- * segments under a root bus) and in which snoopers get probed.
+ * line fetches terminate in a MemoryBackend (src/dram) — the flat
+ * default answers a fixed memoryLatency after the winning grant,
+ * exactly the paper's timing. Implementations differ only in where
+ * contention queues form (one atomic bus, split request/response
+ * channels, or leaf segments under a root bus) and in which
+ * snoopers get probed.
  */
 
 #ifndef SCMP_NET_INTERCONNECT_HH
@@ -16,8 +18,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "dram/memory_backend.hh"
 #include "net/net_params.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -63,7 +67,8 @@ class Snooper
 class Interconnect
 {
   public:
-    Interconnect(stats::Group *parent, const BusParams &params);
+    Interconnect(stats::Group *parent, const BusParams &params,
+                 const DramParams &dram = DramParams{});
     virtual ~Interconnect() = default;
 
     /** Register a snooping client (an SCC). */
@@ -129,6 +134,23 @@ class Interconnect
     }
 
     const BusParams &params() const { return _params; }
+    const DramParams &dramParams() const { return _dram; }
+
+    /// @name Memory backend introspection (src/dram).
+    /// One backend per fabric — except the tree with the banked
+    /// model, which owns one per segment (NUMA). Drives the obs
+    /// occupancy/row-hit series and the mem-scaling bench metrics.
+    /// @{
+    int numMemories() const { return (int)_memories.size(); }
+    MemoryBackend &memory(int index)
+    {
+        return *_memories[(std::size_t)index];
+    }
+    const MemoryBackend &memory(int index) const
+    {
+        return *_memories[(std::size_t)index];
+    }
+    /// @}
 
   protected:
     /** Bump the per-op transaction counters. */
@@ -152,7 +174,15 @@ class Interconnect
                             ClusterId source, BusOp op,
                             Addr lineAddr, Cycle when);
 
+    /**
+     * Create one memory backend per the construction-time
+     * DramParams, owned by this fabric. @p name becomes the banked
+     * model's stats group under "bus" and its obs column prefix.
+     */
+    MemoryBackend *addBackend(const std::string &name);
+
     BusParams _params;
+    DramParams _dram;
     std::vector<Snooper *> _snoopers;
     CoherenceObserver *_observer = nullptr;
     obs::Recorder *_recorder = nullptr;
@@ -180,17 +210,25 @@ class Interconnect
   protected:
     /** The shared stats group, for subclass-specific scalars. */
     stats::Group *busStats() { return &statsGroup; }
+
+  private:
+    /**
+     * Declared last: backends parent their stats under statsGroup,
+     * so they must be destroyed before it.
+     */
+    std::vector<std::unique_ptr<MemoryBackend>> _memories;
 };
 
 /**
- * Build the fabric selected by @p net.
+ * Build the fabric selected by @p net with the memory backend
+ * selected by @p dram.
  *
  * @param numCaches Snoopers that will attach (the tree needs the
  *        total up front to lay out its cache→segment map).
  */
 std::unique_ptr<Interconnect> makeInterconnect(
     stats::Group *parent, const BusParams &bus,
-    const NetParams &net, int numCaches);
+    const NetParams &net, const DramParams &dram, int numCaches);
 
 } // namespace scmp
 

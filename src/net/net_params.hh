@@ -86,6 +86,13 @@ struct NetParams
 
     /** Cycles added to a grant that lost arbitration. */
     Cycle arbLatency = 1;
+
+    /**
+     * Tree only: snoop-filter directory entries (lines tracked).
+     * 0 keeps the filter unbounded; a bound evicts LRU entries and
+     * back-invalidates their sharers to preserve inclusion.
+     */
+    std::uint64_t snoopFilterCapacity = 0;
 };
 
 /// @name Names and parsers for the CLI/design-space axis.

@@ -11,15 +11,16 @@ namespace scmp
 {
 
 SplitBus::SplitBus(stats::Group *parent, const BusParams &params,
-                   const NetParams &net)
-    : Interconnect(parent, params),
+                   const NetParams &net, const DramParams &dram)
+    : Interconnect(parent, params, dram),
       reqWaitCycles(busStats(), "reqWaitCycles",
                     "cycles waited for the request channel"),
       respWaitCycles(busStats(), "respWaitCycles",
                      "cycles waited for the response channel"),
       arbConflicts(busStats(), "arbConflicts",
                    "request grants that lost arbitration"),
-      _net(net)
+      _net(net),
+      _memory(addBackend("mem"))
 {
 }
 
@@ -80,15 +81,17 @@ SplitBus::transaction(ClusterId source, BusOp op, Addr lineAddr,
         // channel whenever it is free, the requester never waits.
         respOccupancy = _params.transferOccupancy;
         _respFree = std::max(reqGrant, _respFree) + respOccupancy;
+        _memory->writeBack(lineAddr, reqGrant);
         break;
       case BusOp::Read:
       case BusOp::ReadExcl: {
-        // The line (from memory or the intervening SCC) is ready a
-        // fixed memoryLatency after the request; it then arbitrates
+        // The line (from memory or the intervening SCC) is ready
+        // when the backend delivers it — a fixed memoryLatency
+        // after the request on the flat default; it then arbitrates
         // for the response channel. A dirty intervention adds one
         // transfer slot of channel time for the memory flush, same
         // charge as the atomic bus.
-        Cycle dataAt = reqGrant + _params.memoryLatency;
+        Cycle dataAt = _memory->fill(lineAddr, reqGrant);
         Cycle respGrant = std::max(dataAt, _respFree);
         respWaitCycles += respGrant - dataAt;
         waitCycles += respGrant - dataAt;

@@ -27,7 +27,8 @@ class SplitBus : public Interconnect
 {
   public:
     SplitBus(stats::Group *parent, const BusParams &params,
-             const NetParams &net);
+             const NetParams &net,
+             const DramParams &dram = DramParams{});
 
     Cycle transaction(ClusterId source, BusOp op, Addr lineAddr,
                       Cycle now, bool *remoteCopyOut = nullptr)
@@ -62,6 +63,7 @@ class SplitBus : public Interconnect
     Cycle arbitrateRequest(ClusterId source, Cycle now);
 
     NetParams _net;
+    MemoryBackend *_memory;
     Cycle _reqFree = 0;
     Cycle _respFree = 0;
     Cycle _reqBusy = 0;

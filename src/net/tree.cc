@@ -13,8 +13,9 @@ namespace scmp
 HierarchicalNet::HierarchicalNet(stats::Group *parent,
                                  const BusParams &params,
                                  const NetParams &net,
-                                 int numCaches)
-    : Interconnect(parent, params),
+                                 int numCaches,
+                                 const DramParams &dram)
+    : Interconnect(parent, params, dram),
       rootTransactions(busStats(), "rootTransactions",
                        "transactions that crossed the root bus"),
       rootWaitCycles(busStats(), "rootWaitCycles",
@@ -23,8 +24,15 @@ HierarchicalNet::HierarchicalNet(stats::Group *parent,
                      "remote leaf segments snooped"),
       snoopsFiltered(busStats(), "snoopsFiltered",
                      "cache probes the snoop filter avoided"),
+      filterEvictions(busStats(), "filterEvictions",
+                      "snoop-filter entries evicted at capacity"),
+      backInvalidations(busStats(), "backInvalidations",
+                        "cache copies dropped by filter evictions"),
+      remoteFills(busStats(), "remoteFills",
+                  "fills served by a remote segment's memory"),
       _net(net),
-      _numCaches(numCaches)
+      _numCaches(numCaches),
+      _sfCap((std::size_t)net.snoopFilterCapacity)
 {
     panic_if(numCaches <= 0, "tree needs at least one cache");
     fatal_if(net.segments <= 0,
@@ -53,13 +61,91 @@ HierarchicalNet::HierarchicalNet(stats::Group *parent,
     _channelNames.push_back("root");
     for (int s = 0; s < _segments; ++s)
         _channelNames.push_back("seg" + std::to_string(s));
+
+    // Flat memory is one shared pool behind the root (the paper's
+    // model); the banked backend becomes one local memory per
+    // segment, row-interleaved (NUMA).
+    _perSegmentMem = _dram.kind == MemBackendKind::Banked;
+    if (_perSegmentMem) {
+        for (int s = 0; s < _segments; ++s)
+            addBackend("mem" + std::to_string(s));
+    } else {
+        addBackend("mem");
+    }
 }
 
 std::uint32_t
 HierarchicalNet::presenceMask(Addr lineAddr) const
 {
     auto it = _presence.find(lineAddr);
-    return it == _presence.end() ? 0 : it->second;
+    return it == _presence.end() ? 0 : it->second.mask;
+}
+
+void
+HierarchicalNet::evictFilterVictim(Cycle when)
+{
+    panic_if(_lru.empty(), "snoop filter eviction with no entries");
+    Addr victim = _lru.back();
+    auto it = _presence.find(victim);
+    panic_if(it == _presence.end(),
+             "snoop filter LRU stack out of sync");
+    std::uint32_t mask = it->second.mask;
+    ++filterEvictions;
+
+    // The directory is inclusive: once the entry is gone, a cached
+    // copy the filter no longer tracks could miss an invalidation.
+    // Probe every flagged segment with an invalidating op (source
+    // -1 exempts nobody) so the caches drop — and, if dirty, flush
+    // — their copies before the entry disappears.
+    std::uint64_t droppedBefore = invalidationsPerformed();
+    for (int r = 0; r < _segments; ++r) {
+        if (!(mask >> (unsigned)r & 1u))
+            continue;
+        snoopRange(_segFirst[(std::size_t)r],
+                   _segFirst[(std::size_t)r + 1], ClusterId(-1),
+                   BusOp::ReadExcl, victim, when);
+    }
+    backInvalidations += invalidationsPerformed() - droppedBefore;
+
+    _lru.pop_back();
+    _presence.erase(it);
+}
+
+void
+HierarchicalNet::filterInsert(Addr lineAddr, std::uint32_t mask,
+                              Cycle when)
+{
+    auto it = _presence.find(lineAddr);
+    if (it != _presence.end()) {
+        it->second.mask = mask;
+        if (_sfCap)
+            _lru.splice(_lru.begin(), _lru, it->second.lruIt);
+        return;
+    }
+    // Evict before inserting so the victim can never be the line
+    // being installed.
+    if (_sfCap && _presence.size() >= _sfCap)
+        evictFilterVictim(when);
+    FilterEntry entry;
+    entry.mask = mask;
+    if (_sfCap) {
+        _lru.push_front(lineAddr);
+        entry.lruIt = _lru.begin();
+    }
+    _presence.emplace(lineAddr, entry);
+    panic_if(_sfCap && _presence.size() > _sfCap,
+             "snoop filter exceeded its capacity");
+}
+
+void
+HierarchicalNet::filterErase(Addr lineAddr)
+{
+    auto it = _presence.find(lineAddr);
+    if (it == _presence.end())
+        return;
+    if (_sfCap)
+        _lru.erase(it->second.lruIt);
+    _presence.erase(it);
 }
 
 Cycle
@@ -183,9 +269,9 @@ HierarchicalNet::transaction(ClusterId source, BusOp op,
         break;
     }
     if (mask)
-        _presence[lineAddr] = mask;
+        filterInsert(lineAddr, mask, lastGrant);
     else
-        _presence.erase(lineAddr);
+        filterErase(lineAddr);
 
     if (_recorder)
         _recorder->busTransaction((int)source, busOpName(op),
@@ -195,17 +281,31 @@ HierarchicalNet::transaction(ClusterId source, BusOp op,
 
     switch (op) {
       case BusOp::Read:
-      case BusOp::ReadExcl:
-        // Fixed line-fetch latency from the last grant on the path,
-        // so cross-segment invalidations complete before the fill.
-        return lastGrant + _params.memoryLatency;
+      case BusOp::ReadExcl: {
+        // Fetch from the line's home memory, timed from the last
+        // grant on the path so cross-segment invalidations complete
+        // before the fill. The flat backend is one shared pool (a
+        // fixed memoryLatency, the paper's model); the banked
+        // backend is per-segment, and a fill whose home is not the
+        // requester's segment pays the NUMA remote penalty.
+        int home = _perSegmentMem ? homeSegment(lineAddr) : 0;
+        Cycle done = memory(home).fill(lineAddr, lastGrant);
+        if (_perSegmentMem && home != s) {
+            ++remoteFills;
+            done += _dram.numaRemotePenalty;
+        }
+        return done;
+      }
       case BusOp::Upgrade:
       case BusOp::Update:
         // The broadcast is done once the last flagged segment has
         // seen it.
         return lastGrant;
       case BusOp::WriteBack:
-        // Write-buffered at the leaf.
+        // Write-buffered at the leaf; the home memory absorbs the
+        // line whenever its bank frees up.
+        memory(_perSegmentMem ? homeSegment(lineAddr) : 0)
+            .writeBack(lineAddr, lastGrant);
         return grant;
     }
     panic("unreachable bus op");

@@ -11,11 +11,21 @@
  * root stops scaling with the cache count. This is the
  * hierarchical-cluster direction of Chen et al. applied to the
  * paper's SCC machine.
+ *
+ * With the banked DRAM backend each segment owns a local memory:
+ * lines are row-interleaved across segments, a fill from the home
+ * segment's memory is local, and a fill from any other segment
+ * pays the NUMA remote penalty on top of its banked timing. A
+ * real junction directory is also SRAM-bounded, so NetParams can
+ * cap it: at capacity the LRU line is evicted and its flagged
+ * segments are back-invalidated, preserving inclusion.
  */
 
 #ifndef SCMP_NET_TREE_HH
 #define SCMP_NET_TREE_HH
 
+#include <cstddef>
+#include <list>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,7 +40,8 @@ class HierarchicalNet : public Interconnect
 {
   public:
     HierarchicalNet(stats::Group *parent, const BusParams &params,
-                    const NetParams &net, int numCaches);
+                    const NetParams &net, int numCaches,
+                    const DramParams &dram = DramParams{});
 
     Cycle transaction(ClusterId source, BusOp op, Addr lineAddr,
                       Cycle now, bool *remoteCopyOut = nullptr)
@@ -68,12 +79,28 @@ class HierarchicalNet : public Interconnect
      */
     std::uint32_t presenceMask(Addr lineAddr) const;
 
+    /** Lines the snoop-filter directory currently tracks. */
+    std::size_t snoopFilterSize() const { return _presence.size(); }
+
+    /** Configured directory bound (0 = unbounded). */
+    std::uint64_t snoopFilterCapacity() const { return _sfCap; }
+
+    /** NUMA home segment of @p lineAddr (banked backend only). */
+    int homeSegment(Addr lineAddr) const
+    {
+        return (int)((lineAddr / _dram.rowBytes) %
+                     (Addr)_segments);
+    }
+
     /// @name Tree statistics (absent on atomic configs).
     /// @{
     stats::Scalar rootTransactions;  //!< transactions crossing root
     stats::Scalar rootWaitCycles;    //!< cycles waiting for root
     stats::Scalar crossSegSnoops;    //!< remote segments snooped
     stats::Scalar snoopsFiltered;    //!< cache probes filter saved
+    stats::Scalar filterEvictions;   //!< directory entries evicted
+    stats::Scalar backInvalidations; //!< copies dropped by evictions
+    stats::Scalar remoteFills;       //!< fills from a remote segment
     /// @}
 
   private:
@@ -91,8 +118,39 @@ class HierarchicalNet : public Interconnect
     Cycle _rootFree = 0;
     Cycle _rootBusy = 0;
 
-    /** Inclusive directory: line → segment presence bitmask. */
-    std::unordered_map<Addr, std::uint32_t> _presence;
+    /**
+     * Inclusive directory: line → segment presence bitmask plus,
+     * when the directory is bounded, the entry's slot in the LRU
+     * stack. Dropping a 1 bit without probing the segment would
+     * break coherence, so eviction back-invalidates (see
+     * filterInsert).
+     */
+    struct FilterEntry
+    {
+        std::uint32_t mask = 0;
+        std::list<Addr>::iterator lruIt;
+    };
+
+    /** Record @p mask for @p lineAddr, evicting at capacity. */
+    void filterInsert(Addr lineAddr, std::uint32_t mask,
+                      Cycle when);
+
+    /** Retire @p lineAddr from the directory (last copy gone). */
+    void filterErase(Addr lineAddr);
+
+    /**
+     * Evict the LRU directory entry: probe every flagged segment
+     * with an invalidating op so no cache keeps a copy the filter
+     * no longer tracks.
+     */
+    void evictFilterVictim(Cycle when);
+
+    std::unordered_map<Addr, FilterEntry> _presence;
+    std::list<Addr> _lru;  //!< front = most recent; bounded only
+    std::size_t _sfCap;    //!< _net.snoopFilterCapacity
+
+    /** One backend per segment (banked) vs one shared (flat). */
+    bool _perSegmentMem = false;
 
     std::vector<std::string> _channelNames;
 };

@@ -61,6 +61,28 @@ hashMachineConfig(const MachineConfig &config)
         h.mix((std::uint64_t)net.segments);
         h.mix((std::uint64_t)net.arbitration);
         h.mix(net.arbLatency);
+        // A bounded snoop filter changes tree timing, but 0
+        // (unbounded) is the pre-existing behaviour: hash it only
+        // when set so every earlier tree key keeps resolving.
+        if (net.snoopFilterCapacity)
+            h.mix(net.snoopFilterCapacity);
+    }
+
+    // Same discipline for the memory backend: with the flat default
+    // DramParams is inert, and every store/fixture key captured
+    // before src/dram existed must keep resolving.
+    const DramParams &dram = config.dram;
+    if (dram.kind != MemBackendKind::Flat) {
+        h.mix((std::uint64_t)dram.kind);
+        h.mix((std::uint64_t)dram.channels);
+        h.mix((std::uint64_t)dram.banks);
+        h.mix((std::uint64_t)dram.sched);
+        h.mix(dram.rowBytes);
+        h.mix(dram.numaRemotePenalty);
+        h.mix(dram.timing.rowHit);
+        h.mix(dram.timing.rowMiss);
+        h.mix(dram.timing.rowConflict);
+        h.mix(dram.timing.burst);
     }
 
     const ICacheParams &icache = config.icache;

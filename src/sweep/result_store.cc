@@ -39,6 +39,14 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"clusters\":" + std::to_string(point.clusters);
     if (!point.net.empty())
         out += ",\"net\":" + jsonQuote(point.net);
+    if (!point.mem.empty())
+        out += ",\"mem\":" + jsonQuote(point.mem);
+    if (point.channels)
+        out += ",\"channels\":" + std::to_string(point.channels);
+    if (point.banks)
+        out += ",\"banks\":" + std::to_string(point.banks);
+    if (!point.memSched.empty())
+        out += ",\"memSched\":" + jsonQuote(point.memSched);
     out += ",\"wallMs\":" + jsonNumber(point.wallMs);
 
     const RunResult &r = point.result;
@@ -54,6 +62,12 @@ ResultStore::serialize(const StoredPoint &point)
     out += ",\"busUtilization\":" + jsonNumber(r.busUtilization);
     out += std::string(",\"verified\":") +
            (r.verified ? "true" : "false");
+    // Banked-DRAM metrics: the flat backend counts no fills, so
+    // default records serialize byte-identically to before.
+    if (r.dramFills) {
+        out += ",\"dramFills\":" + std::to_string(r.dramFills);
+        out += ",\"dramRowHitRate\":" + jsonNumber(r.dramRowHitRate);
+    }
     out += "}";
 
     if (!point.statsJson.empty())
@@ -125,6 +139,14 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     point.clusters = clusters ? (int)clusters->asU64() : 0;
     const Json *net = doc.find("net");
     point.net = net ? net->asString() : "";
+    const Json *mem = doc.find("mem");
+    point.mem = mem ? mem->asString() : "";
+    const Json *channels = doc.find("channels");
+    point.channels = channels ? (int)channels->asU64() : 0;
+    const Json *banks = doc.find("banks");
+    point.banks = banks ? (int)banks->asU64() : 0;
+    const Json *memSched = doc.find("memSched");
+    point.memSched = memSched ? memSched->asString() : "";
     point.wallMs = wallMs->asDouble();
 
     RunResult &r = point.result;
@@ -164,6 +186,12 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     if (!verified)
         return missing("verified");
     r.verified = verified->asBool();
+    // Optional dram fields (absent on flat-backend records).
+    const Json *dramFills = result->find("dramFills");
+    r.dramFills = dramFills ? dramFills->asU64() : 0;
+    const Json *dramRowHitRate = result->find("dramRowHitRate");
+    r.dramRowHitRate =
+        dramRowHitRate ? dramRowHitRate->asDouble() : 0.0;
 
     const Json *stats = doc.find("stats");
     point.statsJson = stats ? stats->dump() : "";

@@ -42,10 +42,15 @@ struct StoredPoint
     /**
      * Optional axes (serialized only when set, so stores written
      * before they existed still parse): cluster count for scaling
-     * studies, interconnect topology name for src/net sweeps.
+     * studies, interconnect topology name for src/net sweeps,
+     * memory backend + geometry for src/dram sweeps.
      */
     int clusters = 0;
     std::string net;
+    std::string mem;
+    int channels = 0;
+    int banks = 0;
+    std::string memSched;
     RunResult result;
     double wallMs = 0;          //!< host wall time of the simulation
     std::string statsJson;      //!< optional hierarchical stats dump

@@ -397,4 +397,113 @@ DesignSpace::netScalingSweep(
     return points;
 }
 
+std::vector<MemPoint>
+DesignSpace::memScalingSweep(
+    const WorkloadFactory &factory, MachineConfig base,
+    const std::vector<int> &channelCounts,
+    const std::vector<int> &bankCounts,
+    const std::vector<MemSched> &scheds, bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+
+    const std::string workloadName = factory()->name();
+
+    sweep::ResultStore store;
+    if (!options.resultsPath.empty())
+        store.open(options.resultsPath, options.resume);
+
+    std::vector<MemPoint> points;
+    points.reserve(channelCounts.size() * bankCounts.size() *
+                   scheds.size());
+    for (MemSched sched : scheds) {
+        for (int channels : channelCounts) {
+            for (int banks : bankCounts) {
+                MachineConfig config = base;
+                config.dram.kind = MemBackendKind::Banked;
+                config.dram.channels = channels;
+                config.dram.banks = banks;
+                config.dram.sched = sched;
+                std::uint64_t key = sweep::pointKey(
+                    config, workloadName, options.scale);
+
+                MemPoint point;
+                point.channels = channels;
+                point.banks = banks;
+                point.sched = sched;
+
+                const sweep::StoredPoint *stored =
+                    options.resume && store.isOpen()
+                        ? store.find(key)
+                        : nullptr;
+                if (stored) {
+                    fatal_if(
+                        stored->workload != workloadName ||
+                            stored->mem !=
+                                memBackendName(config.dram.kind) ||
+                            stored->channels != channels ||
+                            stored->banks != banks ||
+                            stored->memSched != memSchedName(sched),
+                        "results file '", options.resultsPath,
+                        "' record ", sweep::keyHex(key),
+                        " does not match its key's configuration ",
+                        "(key collision or corrupt store)");
+                    point.result = stored->result;
+                    points.push_back(std::move(point));
+                    continue;
+                }
+
+                if (options.obs.enabled) {
+                    obs::RecorderConfig obsConfig = options.obs;
+                    if (!obsConfig.tracePath.empty())
+                        obsConfig.tracePath = sweep::pointedPath(
+                            obsConfig.tracePath, key);
+                    if (!obsConfig.seriesPath.empty())
+                        obsConfig.seriesPath = sweep::pointedPath(
+                            obsConfig.seriesPath, key);
+                    config.obs = obsConfig;
+                }
+
+                auto workload = factory();
+                workload->reseed(key);
+                std::ostringstream statsJson;
+                auto pointStart = sweep::Clock::now();
+                point.result = runParallel(
+                    config, *workload, nullptr, nullptr,
+                    options.attachStats ? &statsJson : nullptr);
+                double wallMs = sweep::msSince(pointStart);
+
+                if (store.isOpen()) {
+                    sweep::StoredPoint record;
+                    record.key = key;
+                    record.workload = workloadName;
+                    record.scale = options.scale;
+                    record.cpusPerCluster = config.cpusPerCluster;
+                    record.sccBytes = config.scc.sizeBytes;
+                    record.mem = memBackendName(config.dram.kind);
+                    record.channels = channels;
+                    record.banks = banks;
+                    record.memSched = memSchedName(sched);
+                    record.result = point.result;
+                    record.wallMs = wallMs;
+                    record.statsJson = statsJson.str();
+                    record.series = point.result.obsSeries;
+                    store.append(record);
+                }
+                if (options.verbose) {
+                    inform("mem sweep: ", workloadName, " ",
+                           memSchedName(sched), " ", channels,
+                           "ch x ", banks, " banks -> ",
+                           point.result.cycles,
+                           " cycles, rowHitRate=",
+                           point.result.dramRowHitRate, " (",
+                           wallMs, " ms)");
+                }
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
 } // namespace scmp

@@ -12,6 +12,12 @@
  * panics and fails the test. Fixed seeds keep the gate
  * deterministic; exploratory fuzzing with fresh seeds is
  * scripts/check_all.sh's job.
+ *
+ * A second pass reruns every topology x protocol with the banked
+ * DRAM backend (src/dram): fills now queue on banks and channels,
+ * and the tree becomes NUMA with a small bounded snoop filter, so
+ * back-invalidation evictions fire constantly under random traffic
+ * while the oracle watches.
  */
 
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include "check/checker.hh"
 #include "check/traffic.hh"
 #include "core/machine.hh"
+#include "net/tree.hh"
 #include "sim/logging.hh"
 
 int
@@ -95,6 +102,81 @@ main()
         std::printf("fuzz smoke [%s]: %d runs clean\n",
                     netTopologyName(topology), topologyRuns);
     }
+
+    // Banked-DRAM pass: queued fills on every fabric; on the tree,
+    // per-segment NUMA memories plus a snoop filter bounded far
+    // below the working set, so the fuzz traffic forces eviction
+    // back-invalidations the whole run.
+    for (NetTopology topology : topologies) {
+        int topologyRuns = 0;
+        for (std::uint64_t seed : seeds) {
+            for (int p : procs) {
+                for (CoherenceProtocol protocol : protocols) {
+                    MachineConfig config;
+                    config.numClusters =
+                        topology == NetTopology::Tree ? 4 : 2;
+                    config.cpusPerCluster = p;
+                    config.scc.sizeBytes = 16ull << 10;
+                    config.scc.protocol = protocol;
+                    config.net.topology = topology;
+                    config.net.segments = 2;
+                    config.dram.kind = MemBackendKind::Banked;
+                    config.dram.channels = 2;
+                    config.dram.banks = 2;
+                    config.dram.sched =
+                        p % 2 ? MemSched::Fcfs : MemSched::FrFcfs;
+                    if (topology == NetTopology::Tree)
+                        config.net.snoopFilterCapacity = 32;
+                    config.checkCoherence = true;
+
+                    Machine machine(config);
+                    check::TrafficParams params;
+                    params.seed = seed;
+                    params.steps = 15000;
+                    params.totalCpus = config.totalCpus();
+                    params.lineBytes = config.scc.lineBytes;
+                    check::TrafficGen(params).run(machine);
+
+                    if (machine.checker()->checksPerformed() == 0) {
+                        std::fprintf(
+                            stderr,
+                            "FAIL: no checks performed "
+                            "(banked net %s seed %llu procs %d)\n",
+                            netTopologyName(topology),
+                            (unsigned long long)seed, p);
+                        return 1;
+                    }
+                    if (topology == NetTopology::Tree) {
+                        auto &tree = dynamic_cast<HierarchicalNet &>(
+                            machine.bus());
+                        if (tree.snoopFilterSize() >
+                            tree.snoopFilterCapacity()) {
+                            std::fprintf(stderr,
+                                         "FAIL: snoop filter over "
+                                         "capacity (seed %llu)\n",
+                                         (unsigned long long)seed);
+                            return 1;
+                        }
+                        if (tree.filterEvictions.value() <= 0) {
+                            std::fprintf(
+                                stderr,
+                                "FAIL: bounded filter never "
+                                "evicted (seed %llu procs %d)\n",
+                                (unsigned long long)seed, p);
+                            return 1;
+                        }
+                    }
+                    totalChecks +=
+                        machine.checker()->checksPerformed();
+                    ++runs;
+                    ++topologyRuns;
+                }
+            }
+        }
+        std::printf("fuzz smoke [%s banked]: %d runs clean\n",
+                    netTopologyName(topology), topologyRuns);
+    }
+
     std::printf("fuzz smoke: %d runs clean, %llu checks\n", runs,
                 (unsigned long long)totalChecks);
     return 0;

@@ -271,6 +271,70 @@ TEST(Tree, SegmentsClampToCacheCount)
     EXPECT_STREQ(tree.channelName(2), "seg1");
 }
 
+TEST(Tree, BoundedFilterEvictsLruAndBackInvalidates)
+{
+    stats::Group root("t");
+    NetParams net;
+    net.segments = 2;
+    net.snoopFilterCapacity = 2;
+    HierarchicalNet tree(&root, BusParams{}, net, 4);
+    std::vector<RecordingSnooper> caches;
+    caches.reserve(4);
+    for (int i = 0; i < 4; ++i)
+        caches.emplace_back(i, nullptr);
+    for (auto &cache : caches)
+        tree.attach(&cache);
+    ASSERT_EQ(tree.snoopFilterCapacity(), 2u);
+
+    // Two lines fill the directory to its bound.
+    tree.transaction(0, BusOp::Read, 0x100, 0);
+    caches[0].hadCopy = true;
+    tree.transaction(2, BusOp::Read, 0x200, 10);
+    EXPECT_EQ(tree.snoopFilterSize(), 2u);
+
+    // A third line evicts the LRU entry (0x100). Its flagged
+    // segment must be probed with an invalidating op — both caches
+    // of segment 0, because source -1 exempts nobody — and the
+    // holder's drop is counted as a back-invalidation.
+    int snoops0 = caches[0].snoops;
+    int snoops1 = caches[1].snoops;
+    tree.transaction(3, BusOp::Read, 0x300, 20);
+    EXPECT_EQ(tree.snoopFilterSize(), 2u);
+    EXPECT_EQ(tree.presenceMask(0x100), 0u);
+    EXPECT_NE(tree.presenceMask(0x200), 0u);
+    EXPECT_NE(tree.presenceMask(0x300), 0u);
+    EXPECT_EQ((Cycle)tree.filterEvictions.value(), 1u);
+    EXPECT_EQ((Cycle)tree.backInvalidations.value(), 1u);
+    EXPECT_EQ(caches[0].snoops, snoops0 + 1);
+    EXPECT_EQ(caches[1].snoops, snoops1 + 1);
+}
+
+TEST(Tree, BoundedFilterEvictsByRecency)
+{
+    stats::Group root("t");
+    NetParams net;
+    net.segments = 2;
+    net.snoopFilterCapacity = 2;
+    HierarchicalNet tree(&root, BusParams{}, net, 4);
+    std::vector<RecordingSnooper> caches;
+    caches.reserve(4);
+    for (int i = 0; i < 4; ++i)
+        caches.emplace_back(i, nullptr);
+    for (auto &cache : caches)
+        tree.attach(&cache);
+
+    // 0x100 is older than 0x200 but gets re-referenced, so the
+    // eviction must fall on 0x200 — LRU order, not insertion order.
+    tree.transaction(0, BusOp::Read, 0x100, 0);
+    tree.transaction(0, BusOp::Read, 0x200, 10);
+    tree.transaction(1, BusOp::Read, 0x100, 20);
+    tree.transaction(0, BusOp::Read, 0x300, 30);
+    EXPECT_EQ(tree.snoopFilterSize(), 2u);
+    EXPECT_EQ(tree.presenceMask(0x200), 0u);
+    EXPECT_EQ(tree.presenceMask(0x100), 0b01u);
+    EXPECT_EQ((Cycle)tree.filterEvictions.value(), 1u);
+}
+
 /**
  * The ISSUE's directed scenario: a line is shared across two leaf
  * segments, then upgraded. The coherence checker (golden memory
@@ -336,21 +400,95 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CoherenceProtocol::WriteInvalidate,
                       CoherenceProtocol::WriteUpdate));
 
+/**
+ * Snoop-filter eviction under the coherence checker: force the
+ * bounded directory to evict entries whose lines are still cached —
+ * one dirty, one shared across both segments — and prove the
+ * back-invalidation probes keep the machine coherent. The checker's
+ * golden memory fatals if the dirty line's flushed value is lost,
+ * and its full walk (every transaction) fatals on any cache/oracle
+ * disagreement, under both protocols.
+ */
+class SnoopFilterEviction
+    : public ::testing::TestWithParam<CoherenceProtocol>
+{
+};
+
+TEST_P(SnoopFilterEviction, BackInvalidationKeepsOracleGreen)
+{
+    MachineConfig config;
+    config.numClusters = 4;
+    config.cpusPerCluster = 1;
+    config.scc.sizeBytes = 16 << 10;
+    config.scc.protocol = GetParam();
+    config.net.topology = NetTopology::Tree;
+    config.net.segments = 2;
+    config.net.snoopFilterCapacity = 2;
+    config.checkCoherence = true;
+    config.checkWalkInterval = 1;
+    Machine machine(config);
+    auto &tree = dynamic_cast<HierarchicalNet &>(machine.bus());
+
+    const Addr a = 0x4000, b = 0x4100, c = 0x4200;
+    Cycle now = 0;
+
+    // a: dirty in segment 0. b: shared across BOTH segments, so its
+    // eventual eviction must back-invalidate two segments.
+    now = machine.access(0, RefType::Write, a, now, 0) + 1;
+    now = machine.access(0, RefType::Write, b, now, 0) + 1;
+    now = machine.access(2, RefType::Read, b, now, 0) + 1;
+    EXPECT_EQ(tree.snoopFilterSize(), 2u);
+
+    // Installing c overflows the directory; the LRU entry is a,
+    // whose only copy is dirty. The probe must flush it into the
+    // oracle's golden memory and drop it from the cache.
+    now = machine.access(1, RefType::Read, c, now, 0) + 1;
+    EXPECT_LE(tree.snoopFilterSize(), 2u);
+    EXPECT_GE((Cycle)tree.filterEvictions.value(), 1u);
+    EXPECT_GE((Cycle)tree.backInvalidations.value(), 1u);
+    EXPECT_EQ(tree.presenceMask(a), 0u);
+    EXPECT_EQ(machine.scc(0).stateOf(a), CoherenceState::Invalid);
+
+    // Re-reading a re-installs it in the directory and evicts b,
+    // whose sharers sit in both segments: every copy must be
+    // dropped (this holds under write-update too — the probe is an
+    // invalidating op regardless of protocol). The read itself must
+    // observe the value flushed by the back-invalidation; the
+    // checker fatals otherwise.
+    now = machine.access(2, RefType::Read, a, now, 0) + 1;
+    EXPECT_EQ(tree.presenceMask(b), 0u);
+    EXPECT_EQ(machine.scc(0).stateOf(b), CoherenceState::Invalid);
+    EXPECT_EQ(machine.scc(2).stateOf(b), CoherenceState::Invalid);
+    EXPECT_LE(tree.snoopFilterSize(), 2u);
+    EXPECT_GE((Cycle)tree.backInvalidations.value(), 3u);
+
+    ASSERT_TRUE(machine.checking());
+    EXPECT_GT(machine.checker()->checksPerformed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, SnoopFilterEviction,
+    ::testing::Values(CoherenceProtocol::WriteInvalidate,
+                      CoherenceProtocol::WriteUpdate));
+
 TEST(Net, FactorySelectsTopology)
 {
     stats::Group root("t");
     NetParams net;
-    auto atomic = makeInterconnect(&root, BusParams{}, net, 4);
+    auto atomic =
+        makeInterconnect(&root, BusParams{}, net, DramParams{}, 4);
     EXPECT_STREQ(atomic->topologyName(), "atomic");
 
     stats::Group root2("t2");
     net.topology = NetTopology::Split;
-    auto split = makeInterconnect(&root2, BusParams{}, net, 4);
+    auto split =
+        makeInterconnect(&root2, BusParams{}, net, DramParams{}, 4);
     EXPECT_STREQ(split->topologyName(), "split");
 
     stats::Group root3("t3");
     net.topology = NetTopology::Tree;
-    auto tree = makeInterconnect(&root3, BusParams{}, net, 4);
+    auto tree =
+        makeInterconnect(&root3, BusParams{}, net, DramParams{}, 4);
     EXPECT_STREQ(tree->topologyName(), "tree");
 }
 
