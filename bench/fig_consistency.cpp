@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Consistency study: how much latency does sequential consistency
+ * leave on the table?
+ *
+ * The paper's machine is sequentially consistent: every store holds
+ * its processor until the bus transaction completes. This figure
+ * runs SPLASH points over {sc, weak} × {atomic, split} × {rr,
+ * priority} through DesignSpace::consistencySweep — under weak
+ * ordering stores retire into a per-CPU store buffer (src/mem/
+ * store_buffer) and drain lazily, so the processor only ever waits
+ * for stores at synchronization — and reports execution time plus
+ * the weak/sc speedup per fabric. Arbitration only matters on the
+ * split bus, so the atomic rows are computed once.
+ *
+ * Extra flags on top of bench_common:
+ *   --sb-entries=N       store-buffer capacity per CPU (default 8)
+ *   --bus-occupancy=N    data-transfer occupancy (default 8; the
+ *                        paper's near-zero default would leave no
+ *                        store latency worth hiding)
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scmp;
+    auto options = bench::parseBenchArgs(argc, argv);
+
+    const std::vector<ConsistencyModel> models = {
+        ConsistencyModel::Sc, ConsistencyModel::Weak};
+    const std::vector<NetTopology> topologies = {
+        NetTopology::Atomic, NetTopology::Split};
+    const std::vector<NetArbitration> arbitrations = {
+        NetArbitration::RoundRobin, NetArbitration::Priority};
+
+    MachineConfig base;
+    base.numClusters = 4;
+    base.cpusPerCluster = 4;
+    base.scc.sizeBytes = 64 << 10;
+    base.consistency.storeBufferEntries =
+        (int)options.config.getInt("sb-entries", 8);
+    // Store latency is what weak ordering hides, so give transfers
+    // a realistic occupancy (as fig_net_scaling does) instead of
+    // the paper's near-zero default.
+    base.bus.transferOccupancy =
+        (Cycle)options.config.getInt("bus-occupancy", 8);
+
+    struct Study
+    {
+        const char *name;
+        DesignSpace::WorkloadFactory factory;
+    };
+    const Study studies[] = {
+        {"Barnes", bench::barnesFactory(options)},
+        {"MP3D", bench::mp3dFactory(options)},
+    };
+
+    for (const Study &study : studies) {
+        auto points = DesignSpace::consistencySweep(
+            study.factory, base, models, topologies, arbitrations,
+            options.sweep.verbose);
+
+        auto pointAt = [&](ConsistencyModel model,
+                           NetTopology topology,
+                           NetArbitration arbitration)
+            -> const ConsistencyPoint & {
+            for (const ConsistencyPoint &p : points) {
+                if (p.model == model && p.topology == topology &&
+                    p.arbitration == arbitration)
+                    return p;
+            }
+            fatal("consistency point missing from sweep");
+        };
+
+        struct Row
+        {
+            const char *label;
+            NetTopology topology;
+            NetArbitration arbitration;
+        };
+        const Row rows[] = {
+            {"atomic", NetTopology::Atomic,
+             NetArbitration::RoundRobin},
+            {"split/rr", NetTopology::Split,
+             NetArbitration::RoundRobin},
+            {"split/priority", NetTopology::Split,
+             NetArbitration::Priority},
+        };
+
+        Table time(std::string("Consistency: execution time "
+                               "(cycles), ") +
+                   study.name + " 4x4, 64KB SCC");
+        time.setHeader(
+            {"Fabric", "sc", "weak", "weak speedup", "bus util sc"});
+        for (const Row &row : rows) {
+            const ConsistencyPoint &sc = pointAt(
+                ConsistencyModel::Sc, row.topology, row.arbitration);
+            const ConsistencyPoint &weak =
+                pointAt(ConsistencyModel::Weak, row.topology,
+                        row.arbitration);
+            time.addRow({std::string(row.label),
+                         Table::cell(sc.result.cycles),
+                         Table::cell(weak.result.cycles),
+                         Table::cell((double)sc.result.cycles /
+                                         (double)weak.result.cycles,
+                                     3),
+                         Table::cell(sc.result.busUtilization, 4)});
+        }
+        bench::emit(time, options);
+    }
+    return 0;
+}

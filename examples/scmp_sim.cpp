@@ -16,6 +16,7 @@
  *     [--arbitration=rr|priority] [--sf-cap=N]
  *     [--mem=flat|banked] [--channels=N] [--mem-banks=N]
  *     [--mem-sched=fcfs|frfcfs]
+ *     [--consistency=sc|weak] [--sb-entries=N]
  *     [--icache=0|1] [--check] [--stats] [--csv]
  *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
  *   scmp_sim --list
@@ -27,6 +28,7 @@
  *       fuzz:     [--seed=N] [--fuzz-steps=N] [--hot-lines=N]
  *                 [--private-lines=N] [--write-frac=X]
  *                 [--shared-frac=X] [--false-share-frac=X]
+ *                 [--fence-frac=X]
  *
  * --check attaches the coherence checker (src/check): a golden
  * functional memory verifies every load, and tag-array invariant
@@ -137,6 +139,20 @@ machineFromFlags(const Config &config)
               memSched, "')");
     }
 
+    // Consistency model (src/mem/store_buffer). The default is
+    // sequential consistency — the paper's processor model and the
+    // contract the golden fixtures pin; --consistency=weak buffers
+    // stores per processor with fences at the ANL sync points.
+    std::string consistency =
+        config.getString("consistency", "sc");
+    if (!parseConsistency(consistency,
+                          &machine.consistency.model)) {
+        fatal("--consistency must be 'sc' or 'weak' (got '",
+              consistency, "'); see --list");
+    }
+    machine.consistency.storeBufferEntries =
+        (int)config.getInt("sb-entries", 8);
+
     machine.checkCoherence = config.getBool("check", false);
 
     // Observability (src/obs). A bare --obs picks a default trace
@@ -171,7 +187,8 @@ commonFlags()
         "clusters", "procs", "scc", "line", "assoc", "banks",
         "organization", "protocol", "bus-occupancy", "net",
         "segments", "arbitration", "sf-cap",
-        "mem", "channels", "mem-banks", "mem-sched", "icache",
+        "mem", "channels", "mem-banks", "mem-sched",
+        "consistency", "sb-entries", "icache",
         "check", "stats", "csv", "obs", "obs-interval",
         "obs-series", "list",
     };
@@ -190,7 +207,8 @@ workloadFlags()
             {"multiprog", {"refs", "quantum"}},
             {"fuzz",
              {"seed", "fuzz-steps", "hot-lines", "private-lines",
-              "write-frac", "shared-frac", "false-share-frac"}},
+              "write-frac", "shared-frac", "false-share-frac",
+              "fence-frac"}},
         };
     return flags;
 }
@@ -243,6 +261,12 @@ printList()
                 "(--channels=N --mem-banks=N\n"
                 "             --mem-sched=fcfs|frfcfs; NUMA "
                 "segments under --net=tree)\n");
+    std::printf("consistency models (--consistency):\n");
+    std::printf("  sc         sequential consistency: every store "
+                "stalls (the paper's, default)\n");
+    std::printf("  weak       weak ordering: per-CPU store buffers "
+                "(--sb-entries=N), fences at\n"
+                "             the ANL lock/unlock/barrier points\n");
     return 0;
 }
 
@@ -264,6 +288,15 @@ runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
         config.getDouble("shared-frac", params.sharedFraction);
     params.falseShareFraction = config.getDouble(
         "false-share-frac", params.falseShareFraction);
+    // Weak ordering defaults to a sprinkle of random fences so the
+    // fuzz stream exercises drain-on-fence; explicit --fence-frac
+    // overrides, and sequential consistency keeps 0 so existing
+    // seeds replay untouched.
+    params.fenceFraction = config.getDouble(
+        "fence-frac",
+        machineConfig.consistency.model == ConsistencyModel::Weak
+            ? 0.02
+            : 0.0);
 
     Machine machine(machineConfig);
     check::TrafficGen gen(params);

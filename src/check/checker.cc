@@ -43,7 +43,11 @@ CoherenceChecker::CoherenceChecker(
       linesWalked(&_group, "linesWalked",
                   "lines visited by the sweeps"),
       eventsObserved(&_group, "eventsObserved",
-                     "protocol events mirrored")
+                     "protocol events mirrored"),
+      forwardsChecked(&_group, "forwardsChecked",
+                      "store-buffer read bypasses verified"),
+      fencesChecked(&_group, "fencesChecked",
+                    "fences verified to have drained")
 {
     for (std::size_t i = 0; i < _caches.size(); ++i) {
         panic_if(!_caches[i], "checker: null cache at index ", i);
@@ -103,6 +107,7 @@ CoherenceChecker::onCpuAccessEnd(CpuId cpu, int cacheIdx,
                  " and observed write #", got,
                  " but the newest committed write is #", want,
                  " — a coherence action was lost");
+        _lastLoadValue = got;
         ++loadsChecked;
         return;
     }
@@ -118,6 +123,133 @@ CoherenceChecker::onCpuAccessEnd(CpuId cpu, int cacheIdx,
              " — write-invalidate writes must end Modified");
     _oracle.commitWrite(cacheIdx, addr, _pending.seq);
     ++storesChecked;
+}
+
+std::deque<CoherenceChecker::BufferedStore> &
+CoherenceChecker::bufferOf(CpuId cpu)
+{
+    panic_if(cpu < 0, "checker: bad cpu id ", cpu);
+    if ((std::size_t)cpu >= _buffered.size())
+        _buffered.resize((std::size_t)cpu + 1);
+    return _buffered[(std::size_t)cpu];
+}
+
+std::size_t
+CoherenceChecker::pendingStores(CpuId cpu) const
+{
+    if (cpu < 0 || (std::size_t)cpu >= _buffered.size())
+        return 0;
+    return _buffered[(std::size_t)cpu].size();
+}
+
+std::uint64_t
+CoherenceChecker::onStoreBuffered(CpuId cpu, int cacheIdx, Addr addr)
+{
+    // Sequence numbers are assigned at retirement, so per-CPU they
+    // follow program order even though the commits below happen in
+    // drain order.
+    Value seq = ++_writeSeq;
+    bufferOf(cpu).push_back(
+        {_oracle.wordOf(addr), cacheIdx, seq});
+    return seq;
+}
+
+void
+CoherenceChecker::onStoreDrainStart(CpuId cpu, int cacheIdx,
+                                    Addr addr, std::uint64_t seq)
+{
+    panic_if(_pending.active,
+             "checker: cpu ", cpu, " started a drain while cpu ",
+             _pending.cpu, "'s reference is still in flight");
+    const auto &fifo = bufferOf(cpu);
+    panic_if(fifo.empty(),
+             "ORACLE: cpu ", cpu, " drained a store its buffer "
+             "never retired (addr 0x", std::hex, addr, ")");
+    const BufferedStore &head = fifo.front();
+    panic_if(head.seq != seq ||
+                 head.word != _oracle.wordOf(addr) ||
+                 head.cache != cacheIdx,
+             "ORACLE: cpu ", cpu, " drained write #", seq,
+             " out of program order — buffer head is write #",
+             head.seq, " (stores must leave the buffer FIFO)");
+    // The drain is an ordinary write access as far as the protocol
+    // events in between are concerned (Update broadcasts etc.), so
+    // it borrows the same in-flight bracket — with the sequence
+    // number assigned back at retirement, not a fresh one.
+    _pending.active = true;
+    _pending.cpu = cpu;
+    _pending.cache = cacheIdx;
+    _pending.type = RefType::Write;
+    _pending.addr = addr;
+    _pending.seq = seq;
+}
+
+void
+CoherenceChecker::onStoreDrainEnd(CpuId cpu, int cacheIdx, Addr addr)
+{
+    panic_if(!_pending.active || _pending.cpu != cpu ||
+                 _pending.cache != cacheIdx ||
+                 _pending.type != RefType::Write ||
+                 _pending.addr != addr,
+             "checker: drain end does not match the in-flight "
+             "drain (cpu ", cpu, " addr 0x", std::hex, addr, ")");
+    _pending.active = false;
+
+    const SharedClusterCache *cache =
+        _caches.at((std::size_t)cacheIdx);
+    CoherenceState state = cache->stateOf(addr);
+    panic_if(state == CoherenceState::Invalid,
+             "checker: cpu ", cpu, " drained a store to 0x",
+             std::hex, addr, std::dec, " but cache ", cacheIdx,
+             " does not hold the line");
+    panic_if(_protocol == CoherenceProtocol::WriteInvalidate &&
+                 state != CoherenceState::Modified,
+             "checker: cpu ", cpu, " drained a store to 0x",
+             std::hex, addr, std::dec, " but cache ", cacheIdx,
+             " holds the line ", coherenceStateName(state),
+             " — write-invalidate writes must end Modified");
+    // The write commits NOW — golden memory advances in drain
+    // order, which is exactly the visibility weak ordering grants.
+    _oracle.commitWrite(cacheIdx, addr, _pending.seq);
+    bufferOf(cpu).pop_front();
+    ++storesChecked;
+}
+
+void
+CoherenceChecker::onLoadForwarded(CpuId cpu, Addr addr)
+{
+    // Read bypass must return the YOUNGEST pending store to the
+    // word, and only if one actually exists — forwarding anything
+    // else would invent a value no execution could observe.
+    const auto &fifo = bufferOf(cpu);
+    const Addr word = _oracle.wordOf(addr);
+    for (auto it = fifo.rbegin(); it != fifo.rend(); ++it) {
+        if (it->word == word) {
+            _lastLoadValue = it->seq;
+            ++forwardsChecked;
+            return;
+        }
+    }
+    panic("ORACLE: cpu ", cpu, " forwarded a load of 0x", std::hex,
+          addr, std::dec,
+          " from its store buffer, but no store to that word is "
+          "pending");
+}
+
+void
+CoherenceChecker::onFence(CpuId cpu)
+{
+    // Fence-ordered visibility: when a fence completes, every store
+    // the processor retired before it must be globally performed.
+    // A fence that lets a buffered store survive is exactly the bug
+    // that breaks message passing under weak ordering.
+    std::size_t pending = pendingStores(cpu);
+    panic_if(pending != 0,
+             "ORACLE: fence completed on cpu ", cpu, " with ",
+             pending,
+             " undrained stores — fence-ordered visibility "
+             "violated");
+    ++fencesChecked;
 }
 
 void
@@ -226,7 +358,9 @@ CoherenceChecker::checksPerformed() const
 {
     return (std::uint64_t)(loadsChecked.value() +
                            storesChecked.value() +
-                           lineChecks.value() + fullWalks.value());
+                           lineChecks.value() + fullWalks.value() +
+                           forwardsChecked.value() +
+                           fencesChecked.value());
 }
 
 } // namespace scmp::check

@@ -22,6 +22,7 @@
 #define SCMP_CHECK_CHECKER_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "check/invariant.hh"
@@ -84,11 +85,48 @@ class CoherenceChecker : public CoherenceObserver
                           Cycle grant) override;
     /// @}
 
+    /// @name Store-buffer events (--consistency=weak).
+    ///
+    /// The order-tolerant half of the oracle. A buffered store gets
+    /// its sequence number at RETIREMENT (program order per CPU)
+    /// but only commits to golden memory when its drain completes —
+    /// so commit order across processors is drain order, and golden
+    /// memory tracks exactly what an unfenced remote load may
+    /// legally observe. The checker accepts any such execution and
+    /// rejects everything else: drains must leave each buffer in
+    /// FIFO program order, read bypass must forward a genuinely
+    /// pending store of the same word, and a completed fence must
+    /// leave the processor's buffer empty (fence-ordered
+    /// visibility). Cache-served loads keep the EXACT golden check:
+    /// weak ordering relaxes when a store commits, never what a
+    /// load may return once it has.
+    /// @{
+    std::uint64_t onStoreBuffered(CpuId cpu, int cacheIdx,
+                                  Addr addr) override;
+    void onStoreDrainStart(CpuId cpu, int cacheIdx, Addr addr,
+                           std::uint64_t seq) override;
+    void onStoreDrainEnd(CpuId cpu, int cacheIdx,
+                         Addr addr) override;
+    void onLoadForwarded(CpuId cpu, Addr addr) override;
+    void onFence(CpuId cpu) override;
+    /// @}
+
     /** Sweep every tag array now; panics on violation. */
     void fullWalk();
 
     /** Total individual checks performed so far. */
     std::uint64_t checksPerformed() const;
+
+    /**
+     * The write sequence number the most recent verified load
+     * observed (cache-served or forwarded; 0 = never-written).
+     * Litmus tests read this to pin which outcomes a consistency
+     * model admits.
+     */
+    Value lastLoadValue() const { return _lastLoadValue; }
+
+    /** Stores retired but not yet drained for @p cpu. */
+    std::size_t pendingStores(CpuId cpu) const;
 
     const MemoryOracle &oracle() const { return _oracle; }
     const CheckerOptions &options() const { return _options; }
@@ -105,13 +143,28 @@ class CoherenceChecker : public CoherenceObserver
         Value seq = 0;  //!< value a pending write will commit
     };
 
+    /** A store retired into a buffer, not yet drained. */
+    struct BufferedStore
+    {
+        Addr word = 0;
+        int cache = -1;
+        Value seq = 0;
+    };
+
+    /** The per-CPU FIFO mirror of @p cpu's store buffer. */
+    std::deque<BufferedStore> &bufferOf(CpuId cpu);
+
     std::vector<const SharedClusterCache *> _caches;
     CoherenceProtocol _protocol;
     CheckerOptions _options;
     MemoryOracle _oracle;
     Pending _pending;
     Value _writeSeq = 0;
+    Value _lastLoadValue = 0;
     std::uint64_t _transactions = 0;
+
+    /** Indexed by CpuId, grown on first use. */
+    std::vector<std::deque<BufferedStore>> _buffered;
 
     stats::Group _group;
 
@@ -124,6 +177,8 @@ class CoherenceChecker : public CoherenceObserver
     stats::Scalar fullWalks;      //!< whole-tag-array sweeps
     stats::Scalar linesWalked;    //!< lines visited by the sweeps
     stats::Scalar eventsObserved; //!< protocol events mirrored
+    stats::Scalar forwardsChecked; //!< read bypasses verified
+    stats::Scalar fencesChecked;  //!< fences verified empty
     /// @}
 };
 

@@ -28,6 +28,9 @@ TrafficGen::TrafficGen(const TrafficParams &params)
                      1,
              "fuzz: shared + false-share fractions must fit in "
              "[0,1]");
+    panic_if(_params.fenceFraction < 0 ||
+                 _params.fenceFraction > 1,
+             "fuzz: fence fraction must be in [0,1]");
 }
 
 Addr
@@ -79,6 +82,16 @@ TrafficGen::run(MemorySystem &mem)
         // Fixed round-robin interleaving keeps replay independent
         // of the timing model's answers.
         int cpu = (int)(step % (std::uint64_t)_params.totalCpus);
+        Cycle &now = clock[(std::size_t)cpu];
+        // Random full fences stress the weak-ordering drain paths.
+        // The chance() draw only happens when fences are requested,
+        // so every pre-existing seed replays bit-identically.
+        if (_params.fenceFraction > 0 &&
+            _rng.chance(_params.fenceFraction)) {
+            ++stats.fences;
+            now = mem.fence(cpu, now) + 1;
+            continue;
+        }
         Addr addr = pickAddr(cpu, stats);
         RefType type = _rng.chance(_params.writeFraction)
                            ? RefType::Write
@@ -88,8 +101,15 @@ TrafficGen::run(MemorySystem &mem)
         else
             ++stats.reads;
         std::uint32_t gap = (std::uint32_t)(1 + _rng.range(8));
-        Cycle &now = clock[(std::size_t)cpu];
         now = mem.access(cpu, type, addr, now, gap) + 1;
+    }
+
+    // Final fences: leave no store stranded in a buffer, so the
+    // run's stats and teardown walks reflect a fully performed
+    // stream (no-op for sequentially consistent targets).
+    for (int cpu = 0; cpu < _params.totalCpus; ++cpu) {
+        Cycle &now = clock[(std::size_t)cpu];
+        now = mem.fence(cpu, now);
     }
     return stats;
 }

@@ -54,6 +54,14 @@ struct TrafficParams
     double writeFraction = 0.35;      //!< P(reference is a write)
     double sharedFraction = 0.45;     //!< P(touch the hot set)
     double falseShareFraction = 0.15; //!< P(own word of a hot line)
+
+    /**
+     * P(a step is a full fence instead of a reference). Exercises
+     * the weak-ordering drain/fence machinery; keep 0 (the default)
+     * for sequentially consistent targets so the random stream —
+     * and therefore every existing seed's replay — is untouched.
+     */
+    double fenceFraction = 0.0;
 };
 
 /** Counters summarizing one fuzz run. */
@@ -64,6 +72,7 @@ struct TrafficStats
     std::uint64_t sharedRefs = 0;
     std::uint64_t falseShareRefs = 0;
     std::uint64_t privateRefs = 0;
+    std::uint64_t fences = 0;
 };
 
 /**

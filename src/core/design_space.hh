@@ -97,6 +97,18 @@ struct MemPoint
     RunResult result;
 };
 
+/**
+ * One evaluated consistency × fabric × arbitration point
+ * (src/mem/store_buffer study).
+ */
+struct ConsistencyPoint
+{
+    ConsistencyModel model = ConsistencyModel::Sc;
+    NetTopology topology = NetTopology::Atomic;
+    NetArbitration arbitration = NetArbitration::RoundRobin;
+    RunResult result;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -162,6 +174,22 @@ class DesignSpace
         const std::vector<int> &channelCounts,
         const std::vector<int> &bankCounts,
         const std::vector<MemSched> &scheds,
+        bool verbose = false);
+
+    /**
+     * The consistency study: run the workload over {consistency
+     * model} × {net topology} × {arbitration discipline}, through
+     * the same result-store/resume/obs plumbing as sweep().
+     * Arbitration only matters on the split bus, so non-split
+     * topologies are evaluated once (with the first discipline)
+     * instead of duplicating identical points. Each stored record
+     * carries its "consistency"/"net" axes. Defined in scmp_sweep.
+     */
+    static std::vector<ConsistencyPoint> consistencySweep(
+        const WorkloadFactory &factory, MachineConfig base,
+        const std::vector<ConsistencyModel> &models,
+        const std::vector<NetTopology> &topologies,
+        const std::vector<NetArbitration> &arbitrations,
         bool verbose = false);
 
     /**

@@ -16,6 +16,10 @@ MachineConfig::check() const
     fatal_if(scc.lineBytes == 0 || !isPowerOf2(scc.lineBytes),
              "SCC line size must be a power of two");
     fatal_if(arenaBytes == 0, "arena must be non-empty");
+    if (consistency.model == ConsistencyModel::Weak) {
+        fatal_if(consistency.storeBufferEntries <= 0,
+                 "--sb-entries must be at least one");
+    }
     fatal_if(net.segments <= 0,
              "--segments must be at least one");
     if (dram.kind == MemBackendKind::Banked) {
@@ -92,6 +96,23 @@ Machine::Machine(const MachineConfig &config)
                 ? 0
                 : localIndexOf(cpu));
         _icacheByCpu.push_back(_icaches[(std::size_t)cpu].get());
+    }
+
+    // Weak ordering: one bounded FIFO store buffer per processor,
+    // draining through the owner's own SCC port. Never built under
+    // sequential consistency — the default machine is bit-identical
+    // to one predating the consistency axis.
+    _weak = _config.consistency.model == ConsistencyModel::Weak;
+    if (_weak) {
+        _sbStats = std::make_unique<StoreBufferStats>(&_root);
+        for (CpuId cpu = 0; cpu < _config.totalCpus(); ++cpu) {
+            _storeBuffers.push_back(std::make_unique<StoreBuffer>(
+                _cacheByCpu[(std::size_t)cpu],
+                _localIndexByCpu[(std::size_t)cpu],
+                _cacheIndexByCpu[(std::size_t)cpu], cpu,
+                _config.consistency.storeBufferEntries,
+                _sbStats.get()));
+        }
     }
 
     if (_config.checkCoherence || check::envCheckRequested())
@@ -178,6 +199,32 @@ Machine::enableObs()
                 });
         }
     }
+    // Store-buffer series, only under weak ordering: the default
+    // sequentially consistent machine has no buffers and gains no
+    // columns here (same discipline as the flat memory backend).
+    if (_weak) {
+        r->addCounter("sbStores", [this] {
+            return (std::uint64_t)_sbStats->storesBuffered.value();
+        });
+        r->addCounter("sbDrains", [this] {
+            return (std::uint64_t)_sbStats->storesDrained.value();
+        });
+        r->addCounter("sbForwards", [this] {
+            return (std::uint64_t)_sbStats->loadsForwarded.value();
+        });
+        r->addCounter("sbDrainStallCycles", [this] {
+            return (std::uint64_t)_sbStats->drainStallCycles.value();
+        });
+        r->addCounter("sbFenceWaitCycles", [this] {
+            return (std::uint64_t)_sbStats->fenceWaitCycles.value();
+        });
+        r->addGauge("sbOccupancy", [this] {
+            std::uint64_t total = 0;
+            for (const auto &sb : _storeBuffers)
+                total += (std::uint64_t)sb->occupancy();
+            return total;
+        });
+    }
     r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
     r->addCounter("readMisses",
                   sumScc(&SharedClusterCache::readMisses));
@@ -232,6 +279,8 @@ Machine::enableChecker()
     _bus->setObserver(_checker.get());
     for (auto &scc : _sccs)
         scc->setObserver(_checker.get());
+    for (auto &sb : _storeBuffers)
+        sb->setObserver(_checker.get());
     inform("coherence checker attached (walk interval ",
            options.walkInterval, ")");
 }
@@ -315,19 +364,63 @@ Machine::access(CpuId cpu, RefType type, Addr addr, Cycle now,
                             instrGap, now)
                 : now;
     int local = _localIndexByCpu[(std::size_t)cpu];
-    if (!_checker)
-        return _cacheByCpu[(std::size_t)cpu]->access(local, type,
-                                                     addr, start);
 
-    // Checked mode brackets the reference so the oracle knows which
-    // processor/cache the protocol events in between belong to.
-    int cacheIdx = _cacheIndexByCpu[(std::size_t)cpu];
-    _checker->onCpuAccessStart(cpu, cacheIdx, type, addr);
-    Cycle done =
-        _cacheByCpu[(std::size_t)cpu]->access(local, type, addr,
-                                              start);
-    _checker->onCpuAccessEnd(cpu, cacheIdx, type, addr);
+    // Weak ordering: stores retire into the processor's buffer and
+    // drain lazily; loads try read bypass before touching the
+    // cache. Due drains are let go only *after* the load completes:
+    // the load has priority for the cache port (a drain issued
+    // first would make the processor queue behind its own buffered
+    // stores), and a store still in the buffer at load time can
+    // forward. Sequential consistency (_weak false) never takes
+    // this branch and is bit-identical to the pre-buffer machine.
+    StoreBuffer *sb =
+        _weak ? _storeBuffers[(std::size_t)cpu].get() : nullptr;
+    if (sb) {
+        if (type == RefType::Write)
+            return sb->store(addr, start);
+        if (sb->forward(addr, start)) {
+            sb->drainDue(start);
+            return start;
+        }
+    }
+
+    Cycle done;
+    if (!_checker) {
+        done = _cacheByCpu[(std::size_t)cpu]->access(local, type,
+                                                     addr, start);
+    } else {
+        // Checked mode brackets the reference so the oracle knows
+        // which processor/cache the protocol events in between
+        // belong to.
+        int cacheIdx = _cacheIndexByCpu[(std::size_t)cpu];
+        _checker->onCpuAccessStart(cpu, cacheIdx, type, addr);
+        done = _cacheByCpu[(std::size_t)cpu]->access(local, type,
+                                                     addr, start);
+        _checker->onCpuAccessEnd(cpu, cacheIdx, type, addr);
+    }
+    if (sb)
+        sb->drainDue(done);
     return done;
+}
+
+Cycle
+Machine::fence(CpuId cpu, Cycle now)
+{
+    if (!_weak)
+        return now;
+    panic_if((std::size_t)cpu >= _storeBuffers.size(),
+             "bad cpu id ", cpu);
+    return _storeBuffers[(std::size_t)cpu]->fence(now);
+}
+
+StoreBuffer *
+Machine::storeBuffer(CpuId cpu)
+{
+    if (!_weak)
+        return nullptr;
+    panic_if((std::size_t)cpu >= _storeBuffers.size(),
+             "bad cpu id ", cpu);
+    return _storeBuffers[(std::size_t)cpu].get();
 }
 
 double

@@ -18,6 +18,7 @@
 #include "mem/bus.hh"
 #include "mem/icache.hh"
 #include "mem/scc.hh"
+#include "mem/store_buffer.hh"
 #include "obs/recorder.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -72,6 +73,8 @@ struct MachineConfig
     NetParams net;
     /** Which memory backend times line fetches (src/dram). */
     DramParams dram;
+    /** Memory consistency model (src/mem/store_buffer). */
+    ConsistencyParams consistency;
     ICacheParams icache;
     EngineOptions engine;
 
@@ -119,6 +122,12 @@ class Machine : public MemorySystem
     Cycle access(CpuId cpu, RefType type, Addr addr, Cycle now,
                  std::uint32_t instrGap) override;
 
+    /**
+     * Full fence on @p cpu: drain its store buffer completely.
+     * No-op (returns @p now) under sequential consistency.
+     */
+    Cycle fence(CpuId cpu, Cycle now) override;
+
     /// @name Topology accessors.
     /// @{
     const MachineConfig &config() const { return _config; }
@@ -133,6 +142,8 @@ class Machine : public MemorySystem
     int cacheIndexOf(CpuId cpu) const;
     SharedClusterCache &scc(ClusterId cluster);
     const SharedClusterCache &scc(ClusterId cluster) const;
+    /** @p cpu's store buffer; null under sequential consistency. */
+    StoreBuffer *storeBuffer(CpuId cpu);
     ICache &icache(CpuId cpu);
     Interconnect &bus() { return *_bus; }
     const Interconnect &bus() const { return *_bus; }
@@ -188,6 +199,17 @@ class Machine : public MemorySystem
     std::vector<std::unique_ptr<SharedClusterCache>> _sccs;
     std::vector<std::unique_ptr<ICache>> _icaches;
     std::unique_ptr<check::CoherenceChecker> _checker;
+
+    /**
+     * Weak ordering only: the shared counter block and one store
+     * buffer per processor. Both stay null/empty under sequential
+     * consistency, so the default machine carries no buffer state,
+     * no extra stats group, and pays one predictable branch per
+     * reference.
+     */
+    std::unique_ptr<StoreBufferStats> _sbStats;
+    std::vector<std::unique_ptr<StoreBuffer>> _storeBuffers;
+    bool _weak = false;
 
     /// @name Per-processor routing tables, built once in the
     /// constructor so the reference hot path is three array loads —

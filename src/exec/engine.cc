@@ -213,6 +213,10 @@ Engine::run()
             next->state = State::Done;
             --_live;
             flushWork(*next);
+            // A finishing thread drains its store buffer so its
+            // last writes are globally performed by finishTime
+            // (no-op under sequential consistency).
+            next->time = _mem->fence(next->cpu, next->time);
             next->stats.finishTime = next->time;
             _finishTime = std::max(_finishTime, next->time);
             if (_policy)
@@ -331,13 +335,32 @@ Engine::addWork(Thread &t, std::uint64_t instrs)
 }
 
 void
+Engine::memFence(Thread &t)
+{
+    // Synchronization accesses are strongly ordered: every store
+    // the thread issued before this point must be globally
+    // performed before the sync reference itself may issue. Under
+    // sequential consistency the memory system's fence is a no-op
+    // returning `now`, so this costs nothing and changes nothing.
+    flushWork(t);
+    Cycle done = _mem->fence(t.cpu, t.time);
+    panic_if(done < t.time, "memory system fenced in the past");
+    t.time = done;
+}
+
+void
 Engine::acquire(Thread &t, SimLock &lock)
 {
+    memFence(t);
     // Model the test of the lock word.
     memRef(t, RefType::Read, lock._addr);
     if (lock._holder < 0) {
         lock._holder = t.tid;
         memRef(t, RefType::Write, lock._addr);
+        // The taken-store is itself a sync access: drain it now so
+        // it is globally performed before the critical section
+        // runs, not whenever the buffer next gets around to it.
+        memFence(t);
         return;
     }
     // Contended: sleep until the releaser hands the lock over.
@@ -347,6 +370,7 @@ Engine::acquire(Thread &t, SimLock &lock)
     panic_if(lock._holder != t.tid,
              "woke from lock wait without ownership");
     memRef(t, RefType::Write, lock._addr);
+    memFence(t);
 }
 
 void
@@ -354,7 +378,12 @@ Engine::release(Thread &t, SimLock &lock)
 {
     panic_if(lock._holder != t.tid,
              "thread ", t.tid, " releasing a lock it does not hold");
+    memFence(t);
     memRef(t, RefType::Write, lock._addr);
+    // Drain the unlock store immediately: a buffered release would
+    // stretch every lock hold by the drain lag and convoy the
+    // waiters behind it.
+    memFence(t);
     if (lock._waiters.empty()) {
         lock._holder = -1;
         return;
@@ -368,9 +397,12 @@ Engine::release(Thread &t, SimLock &lock)
 void
 Engine::barrier(Thread &t, SimBarrier &bar)
 {
-    // Arrival updates the barrier counter (read + write traffic).
+    memFence(t);
+    // Arrival updates the barrier counter (read + write traffic),
+    // and the arrival store is itself strongly ordered.
     memRef(t, RefType::Read, bar._addr);
     memRef(t, RefType::Write, bar._addr);
+    memFence(t);
     bar._latestArrival = std::max(bar._latestArrival, t.time);
 
     if (++bar._arrived < bar._expected) {

@@ -60,6 +60,22 @@ class MemorySystem
      */
     virtual Cycle access(CpuId cpu, RefType type, Addr addr,
                          Cycle now, std::uint32_t instrGap) = 0;
+
+    /**
+     * Full memory fence on @p cpu: every store the processor issued
+     * before @p now must be globally performed before this returns.
+     * The engine fences at the ANL LOCK/UNLOCK/BARRIER entry points
+     * — the weak-ordering sync surface. A sequentially consistent
+     * memory system has nothing to drain, hence the no-op default.
+     *
+     * @return the cycle at which the processor may continue.
+     */
+    virtual Cycle
+    fence(CpuId cpu, Cycle now)
+    {
+        (void)cpu;
+        return now;
+    }
 };
 
 /**
@@ -252,6 +268,9 @@ class Engine
 
     /** Charge accumulated compute instructions to the clock. */
     void flushWork(Thread &t);
+
+    /** Full fence before a synchronization access (weak ordering). */
+    void memFence(Thread &t);
 
     /** Yield if another runnable thread is too far behind. */
     void maybeYield(Thread &t);

@@ -67,6 +67,62 @@ class CoherenceObserver
      */
     virtual void onBusTransaction(ClusterId source, BusOp op,
                                   Addr lineAddr, Cycle grant) = 0;
+
+    /// @name Store-buffer events (--consistency=weak only).
+    ///
+    /// Under weak ordering a store's retirement (into the FIFO) and
+    /// its global performance (the drain onto the cache) are
+    /// separate moments; these hooks let the oracle assign the write
+    /// its sequence number in PROGRAM order at retirement while the
+    /// commit happens later, in drain order. Default no-ops so the
+    /// machinery costs nothing when no checker is attached.
+    /// @{
+    /** A store retired into @p cpu's buffer.
+     *  @return the write's oracle sequence number (0 unchecked). */
+    virtual std::uint64_t
+    onStoreBuffered(CpuId cpu, int cacheIdx, Addr addr)
+    {
+        (void)cpu;
+        (void)cacheIdx;
+        (void)addr;
+        return 0;
+    }
+
+    /** A buffered store begins draining through its cache. */
+    virtual void
+    onStoreDrainStart(CpuId cpu, int cacheIdx, Addr addr,
+                      std::uint64_t seq)
+    {
+        (void)cpu;
+        (void)cacheIdx;
+        (void)addr;
+        (void)seq;
+    }
+
+    /** The drain completed (tags updated, write globally done). */
+    virtual void
+    onStoreDrainEnd(CpuId cpu, int cacheIdx, Addr addr)
+    {
+        (void)cpu;
+        (void)cacheIdx;
+        (void)addr;
+    }
+
+    /** A load was served by read bypass from @p cpu's buffer. */
+    virtual void
+    onLoadForwarded(CpuId cpu, Addr addr)
+    {
+        (void)cpu;
+        (void)addr;
+    }
+
+    /** A full fence completed on @p cpu — its buffer MUST be empty. */
+    virtual void
+    onFence(CpuId cpu)
+    {
+        (void)cpu;
+    }
+    /// @}
 };
 
 } // namespace scmp

@@ -86,6 +86,11 @@ RoundRobinPolicy::dispatch(Engine &engine, CpuId cpu, Cycle when)
         _readyQueue.pop_front();
         if (engine.done(next))
             continue;
+        // The OS drains the outgoing processor's store buffer on a
+        // context switch, so the incoming process never runs ahead
+        // of its predecessor's unperformed stores (no-op under
+        // sequential consistency).
+        when = _machine.fence(cpu, when);
         Cycle start = when + engine.options().contextSwitchCost;
         if (obs::Recorder *recorder = _machine.recorder())
             recorder->quantumSwitch(

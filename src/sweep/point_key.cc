@@ -85,6 +85,17 @@ hashMachineConfig(const MachineConfig &config)
         h.mix(dram.timing.burst);
     }
 
+    // And for the consistency model: sequential consistency is the
+    // pre-existing behaviour (ConsistencyParams is inert under Sc),
+    // so the axis is hashed only when weak ordering is selected —
+    // every key captured before src/mem/store_buffer existed keeps
+    // resolving.
+    const ConsistencyParams &consistency = config.consistency;
+    if (consistency.model != ConsistencyModel::Sc) {
+        h.mix((std::uint64_t)consistency.model);
+        h.mix((std::uint64_t)consistency.storeBufferEntries);
+    }
+
     const ICacheParams &icache = config.icache;
     h.mix((std::uint64_t)icache.enabled);
     h.mix(icache.sizeBytes);

@@ -47,6 +47,8 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"banks\":" + std::to_string(point.banks);
     if (!point.memSched.empty())
         out += ",\"memSched\":" + jsonQuote(point.memSched);
+    if (!point.consistency.empty())
+        out += ",\"consistency\":" + jsonQuote(point.consistency);
     out += ",\"wallMs\":" + jsonNumber(point.wallMs);
 
     const RunResult &r = point.result;
@@ -147,6 +149,9 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     point.banks = banks ? (int)banks->asU64() : 0;
     const Json *memSched = doc.find("memSched");
     point.memSched = memSched ? memSched->asString() : "";
+
+    const Json *consistency = doc.find("consistency");
+    point.consistency = consistency ? consistency->asString() : "";
     point.wallMs = wallMs->asDouble();
 
     RunResult &r = point.result;

@@ -51,6 +51,8 @@ struct StoredPoint
     int channels = 0;
     int banks = 0;
     std::string memSched;
+    /** Consistency model name for src/mem/store_buffer sweeps. */
+    std::string consistency;
     RunResult result;
     double wallMs = 0;          //!< host wall time of the simulation
     std::string statsJson;      //!< optional hierarchical stats dump

@@ -506,4 +506,116 @@ DesignSpace::memScalingSweep(
     return points;
 }
 
+std::vector<ConsistencyPoint>
+DesignSpace::consistencySweep(
+    const WorkloadFactory &factory, MachineConfig base,
+    const std::vector<ConsistencyModel> &models,
+    const std::vector<NetTopology> &topologies,
+    const std::vector<NetArbitration> &arbitrations, bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+
+    const std::string workloadName = factory()->name();
+
+    sweep::ResultStore store;
+    if (!options.resultsPath.empty())
+        store.open(options.resultsPath, options.resume);
+
+    std::vector<ConsistencyPoint> points;
+    points.reserve(models.size() * topologies.size() *
+                   arbitrations.size());
+    for (ConsistencyModel model : models) {
+        for (NetTopology topology : topologies) {
+            for (std::size_t a = 0; a < arbitrations.size(); ++a) {
+                // Arbitration is a split-bus knob; other fabrics
+                // would evaluate the same design point once per
+                // discipline, so take only the first for them.
+                if (topology != NetTopology::Split && a > 0)
+                    break;
+                NetArbitration arbitration = arbitrations[a];
+
+                MachineConfig config = base;
+                config.consistency.model = model;
+                config.net.topology = topology;
+                config.net.arbitration = arbitration;
+                std::uint64_t key = sweep::pointKey(
+                    config, workloadName, options.scale);
+
+                ConsistencyPoint point;
+                point.model = model;
+                point.topology = topology;
+                point.arbitration = arbitration;
+
+                const sweep::StoredPoint *stored =
+                    options.resume && store.isOpen()
+                        ? store.find(key)
+                        : nullptr;
+                if (stored) {
+                    fatal_if(
+                        stored->workload != workloadName ||
+                            stored->net !=
+                                netTopologyName(topology) ||
+                            (model != ConsistencyModel::Sc &&
+                             stored->consistency !=
+                                 consistencyName(model)),
+                        "results file '", options.resultsPath,
+                        "' record ", sweep::keyHex(key),
+                        " does not match its key's configuration ",
+                        "(key collision or corrupt store)");
+                    point.result = stored->result;
+                    points.push_back(std::move(point));
+                    continue;
+                }
+
+                if (options.obs.enabled) {
+                    obs::RecorderConfig obsConfig = options.obs;
+                    if (!obsConfig.tracePath.empty())
+                        obsConfig.tracePath = sweep::pointedPath(
+                            obsConfig.tracePath, key);
+                    if (!obsConfig.seriesPath.empty())
+                        obsConfig.seriesPath = sweep::pointedPath(
+                            obsConfig.seriesPath, key);
+                    config.obs = obsConfig;
+                }
+
+                auto workload = factory();
+                workload->reseed(key);
+                std::ostringstream statsJson;
+                auto pointStart = sweep::Clock::now();
+                point.result = runParallel(
+                    config, *workload, nullptr, nullptr,
+                    options.attachStats ? &statsJson : nullptr);
+                double wallMs = sweep::msSince(pointStart);
+
+                if (store.isOpen()) {
+                    sweep::StoredPoint record;
+                    record.key = key;
+                    record.workload = workloadName;
+                    record.scale = options.scale;
+                    record.cpusPerCluster = config.cpusPerCluster;
+                    record.sccBytes = config.scc.sizeBytes;
+                    record.net = netTopologyName(topology);
+                    record.consistency = consistencyName(model);
+                    record.result = point.result;
+                    record.wallMs = wallMs;
+                    record.statsJson = statsJson.str();
+                    record.series = point.result.obsSeries;
+                    store.append(record);
+                }
+                if (options.verbose) {
+                    inform("consistency sweep: ", workloadName,
+                           " ", consistencyName(model), " ",
+                           netTopologyName(topology), "/",
+                           netArbitrationName(arbitration), " -> ",
+                           point.result.cycles, " cycles (",
+                           wallMs, " ms)");
+                }
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
 } // namespace scmp

@@ -18,6 +18,12 @@
  * and the tree becomes NUMA with a small bounded snoop filter, so
  * back-invalidation evictions fire constantly under random traffic
  * while the oracle watches.
+ *
+ * A third pass reruns every topology x protocol under weak
+ * ordering (--consistency=weak): stores retire into small per-CPU
+ * store buffers and drain lazily, the generator sprinkles fences,
+ * and the order-tolerant oracle must verify retire-order drains,
+ * read bypasses, and fence-ordered visibility the whole run.
  */
 
 #include <cstdio>
@@ -174,6 +180,76 @@ main()
             }
         }
         std::printf("fuzz smoke [%s banked]: %d runs clean\n",
+                    netTopologyName(topology), topologyRuns);
+    }
+
+    // Weak-ordering pass: tiny store buffers so full-buffer drains
+    // and read bypasses both fire constantly, plus random fences so
+    // the fence-ordered-visibility check actually runs. The oracle
+    // must see forwards and fences on every configuration — a weak
+    // run that never exercised the relaxation proves nothing.
+    for (NetTopology topology : topologies) {
+        int topologyRuns = 0;
+        for (std::uint64_t seed : seeds) {
+            for (int p : procs) {
+                for (CoherenceProtocol protocol : protocols) {
+                    MachineConfig config;
+                    config.numClusters =
+                        topology == NetTopology::Tree ? 4 : 2;
+                    config.cpusPerCluster = p;
+                    config.scc.sizeBytes = 16ull << 10;
+                    config.scc.protocol = protocol;
+                    config.net.topology = topology;
+                    config.net.segments = 2;
+                    config.consistency.model =
+                        ConsistencyModel::Weak;
+                    config.consistency.storeBufferEntries =
+                        p % 2 ? 2 : 8;
+                    config.checkCoherence = true;
+
+                    Machine machine(config);
+                    check::TrafficParams params;
+                    params.seed = seed;
+                    params.steps = 15000;
+                    params.totalCpus = config.totalCpus();
+                    params.lineBytes = config.scc.lineBytes;
+                    params.fenceFraction = 0.02;
+                    check::TrafficGen(params).run(machine);
+
+                    const check::CoherenceChecker &checker =
+                        *machine.checker();
+                    if (checker.checksPerformed() == 0 ||
+                        checker.fencesChecked.value() <= 0 ||
+                        checker.forwardsChecked.value() <= 0) {
+                        std::fprintf(
+                            stderr,
+                            "FAIL: weak run exercised no "
+                            "relaxation (net %s seed %llu "
+                            "procs %d)\n",
+                            netTopologyName(topology),
+                            (unsigned long long)seed, p);
+                        return 1;
+                    }
+                    for (int cpu = 0; cpu < config.totalCpus();
+                         ++cpu) {
+                        if (checker.pendingStores(cpu) != 0) {
+                            std::fprintf(
+                                stderr,
+                                "FAIL: stores left undrained at "
+                                "end of run (net %s seed %llu "
+                                "cpu %d)\n",
+                                netTopologyName(topology),
+                                (unsigned long long)seed, cpu);
+                            return 1;
+                        }
+                    }
+                    totalChecks += checker.checksPerformed();
+                    ++runs;
+                    ++topologyRuns;
+                }
+            }
+        }
+        std::printf("fuzz smoke [%s weak]: %d runs clean\n",
                     netTopologyName(topology), topologyRuns);
     }
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Proof the order-tolerant oracle has teeth: a store buffer whose
+ * fence forgets to drain must die under the checker, and — the
+ * scarier half — run to completion silently without it.
+ *
+ * This binary is compiled with SCMP_CONSISTENCY_MUTATION, which
+ * gives it its own copy of store_buffer.cc where fence() reports
+ * completion without draining the FIFO (the classic broken memory
+ * barrier: the sync instruction retires but the stores it was
+ * supposed to publish are still sitting in the buffer). The link
+ * resolves StoreBuffer from that object file, so the mutated buffer
+ * exists only here; the library everyone else links is untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/checker.hh"
+#include "check/traffic.hh"
+#include "core/machine.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/** Weakly-ordered fuzz traffic with fences on the mutated buffer. */
+void
+runMutatedFuzz(bool check)
+{
+    MachineConfig config;
+    config.numClusters = 2;
+    config.cpusPerCluster = 2;
+    config.scc.sizeBytes = 16 << 10;
+    config.consistency.model = ConsistencyModel::Weak;
+    config.consistency.storeBufferEntries = 8;
+    config.checkCoherence = check;
+
+    Machine machine(config);
+    check::TrafficParams params;
+    params.seed = 5;
+    params.steps = 20000;
+    params.totalCpus = config.totalCpus();
+    params.lineBytes = config.scc.lineBytes;
+    // Plenty of writes so buffers are rarely empty, and frequent
+    // fences so the mutated path — fence completes over a non-empty
+    // buffer — fires almost immediately.
+    params.writeFraction = 0.5;
+    params.fenceFraction = 0.05;
+    check::TrafficGen(params).run(machine);
+}
+
+TEST(ConsistencyMutationDeath, CheckerCatchesBrokenFence)
+{
+    unsetenv("SCMP_CHECK");
+    // The first fence that completes while stores are still
+    // buffered trips the fence-ordered-visibility check.
+    EXPECT_DEATH(runMutatedFuzz(/*check=*/true),
+                 "undrained stores");
+}
+
+TEST(ConsistencyMutationDeath, MutationIsSilentWithoutChecker)
+{
+    // The same broken fence, unchecked, finishes without a whisper
+    // — synchronization silently stops publishing stores and every
+    // statistic looks plausible. This is why the oracle exists.
+    unsetenv("SCMP_CHECK");
+    runMutatedFuzz(/*check=*/false);
+    SUCCEED();
+}
+
+} // namespace
