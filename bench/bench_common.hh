@@ -9,7 +9,16 @@
  *   --sizes=...    override the SCC size axis
  *   --procs=...    override the processors-per-cluster axis
  *   --jobs=N       sweep design points on N host threads
- *                  (0 = one per hardware thread; default serial)
+ *                  (auto/0 = one per hardware thread; default serial)
+ *   --model=M      sweep evaluation model: cycle (default),
+ *                  analytic (reuse-distance screen only) or hybrid
+ *                  (screen the grid, run the top-K frontier
+ *                  cycle-accurately)
+ *   --topk=K       hybrid frontier size (0 = auto, max(3, total/4))
+ *   --profile-shift=S  SHARDS sampling shift for the profiling
+ *                  pass (rate 1/2^S; 0 = exact)
+ *   --profile-cap=N    stop recording profile histograms after N
+ *                  references (0 = unbounded)
  *   --results=FILE persist each design point to a JSON-lines store
  *   --resume       skip points already present in --results
  *   --stats        attach per-point hierarchical stats to the store
@@ -128,7 +137,16 @@ parseBenchArgs(int argc, char **argv)
 
     // Sweep execution knobs: every DesignSpace::sweep call in this
     // binary runs through the executor with these settings.
-    options.sweep.jobs = (int)options.config.getInt("jobs", 1);
+    std::string jobsText = options.config.getString("jobs", "1");
+    options.sweep.jobs =
+        jobsText == "auto" ? 0 : std::stoi(jobsText);
+    options.sweep.model = sweep::parseSweepModel(
+        options.config.getString("model", "cycle"));
+    options.sweep.topK = (int)options.config.getInt("topk", 0);
+    options.sweep.profileSampleShift =
+        (std::uint32_t)options.config.getInt("profile-shift", 0);
+    options.sweep.profileMaxSamples =
+        (std::uint64_t)options.config.getInt("profile-cap", 0);
     options.sweep.resultsPath =
         options.config.getString("results", "");
     options.sweep.resume = options.config.getBool("resume", false);

@@ -126,6 +126,11 @@ for bench in benches:
             total_cycles += cycles
             points.append({
                 "workload": rec["workload"],
+                # Evaluation model that produced the record; an
+                # analytic screen row must never be compared (or
+                # deduplicated) against a cycle-accurate row of the
+                # same coordinates.
+                "model": rec.get("model", "cycle"),
                 "procsPerCluster": rec["procs"],
                 "sccBytes": rec["scc"],
                 "wallSeconds": round(ms / 1000.0, 6),

@@ -21,14 +21,22 @@ the bare CI container. With --png the script additionally renders
 through matplotlib when (and only when) that is importable; the PNG
 is skipped with a note otherwise, never an error.
 
+With --latency the script instead reads compute-server stores
+(records whose results carry requests/latencyP50/P95/P99, as
+written by the examples/compute_server sweep): one p50/p95/p99
+curve per design point over the offered-load axis, which is parsed
+from the workload name ("server-l0.70-r250000"). Analytic screen
+records carry no latency sample and are skipped.
+
 Usage: scripts/sweep_plot.py RESULTS.jsonl [--out=PREFIX]
            [--metric=cycles|readMissRate|missRate|busUtilization|
                      busTransactions|invalidations|dramFills|
                      dramRowHitRate]
-           [--png]
+           [--latency] [--png]
 """
 
 import json
+import re
 import sys
 from collections import defaultdict
 
@@ -97,6 +105,34 @@ def series_from_store(records, metric):
     for points in series.values():
         points.sort()
     return dict(series), xlabel
+
+
+def latency_series(records):
+    """Latency-percentile curves over the offered-load axis.
+
+    One curve per (procs, sccBytes, percentile); only records that
+    replayed actual requests contribute (the analytic screen
+    predicts rates, not per-request queueing).
+    """
+    series = defaultdict(list)
+    for r in records:
+        result = r.get("result", {})
+        if not result.get("requests"):
+            continue
+        match = re.search(r"-l([0-9.]+)", r.get("workload", ""))
+        if not match:
+            continue
+        load = float(match.group(1))
+        base = (f"{r.get('procs', '?')}P/"
+                f"{int(r.get('scc', 0)) // 1024}K")
+        for field, name in (("latencyP50", "p50"),
+                            ("latencyP95", "p95"),
+                            ("latencyP99", "p99")):
+            series[f"{base} {name}"].append(
+                (load, float(result[field])))
+    for points in series.values():
+        points.sort()
+    return dict(series), "offered load"
 
 
 def _ticks(lo, hi, count=5):
@@ -218,11 +254,14 @@ def main(argv):
     out_prefix = None
     metric = "cycles"
     want_png = False
+    want_latency = False
     for arg in argv[1:]:
         if arg.startswith("--out="):
             out_prefix = arg.split("=", 1)[1]
         elif arg.startswith("--metric="):
             metric = arg.split("=", 1)[1]
+        elif arg == "--latency":
+            want_latency = True
         elif arg == "--png":
             want_png = True
         elif arg.startswith("-"):
@@ -239,7 +278,14 @@ def main(argv):
     records = load_store(store_path)
     if not records:
         raise SystemExit(f"error: no records in {store_path}")
-    series, xlabel = series_from_store(records, metric)
+    if want_latency:
+        metric = "latency"
+        series, xlabel = latency_series(records)
+        if not series:
+            raise SystemExit("error: no server records with "
+                             "request latencies in the store")
+    else:
+        series, xlabel = series_from_store(records, metric)
     title = f"{store_path}: {metric}"
 
     svg_path = f"{out_prefix}-{metric}.svg"

@@ -60,6 +60,7 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
     if (statsJsonDump)
         machine.statsRoot().dumpJson(*statsJsonDump);
     result.verified = workload.verify();
+    workload.annotate(result);
     if (!result.verified) {
         warn("workload '", workload.name(),
              "' failed verification (procs/cluster=",

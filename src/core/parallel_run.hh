@@ -40,6 +40,18 @@ struct RunResult
     double dramRowHitRate = 0;
 
     /**
+     * Server-scenario metrics (src/workloads/server), attached by
+     * ParallelWorkload::annotate. Zero for every other workload
+     * and serialized only when `requests` is non-zero, so stored
+     * default records stay byte-identical.
+     */
+    std::uint64_t requests = 0;
+    double latencyP50 = 0;   //!< cycles, arrival to completion
+    double latencyP95 = 0;
+    double latencyP99 = 0;
+    double throughput = 0;   //!< requests per kilocycle
+
+    /**
      * Interval-metrics series as columnar JSON, captured when the
      * run's recorder has captureSeries set; empty otherwise. Not
      * part of the simulated result — carries observability output

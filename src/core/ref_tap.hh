@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Observer interface over the raw data-reference stream.
+ *
+ * A RefTap sees every data reference the machine is asked to
+ * perform, before any timing happens, in exactly the order the
+ * engine issues them. It follows the branch-on-null hook
+ * discipline of obs::Recorder and check::CoherenceChecker: the
+ * machine holds a raw pointer that is null by default, every hook
+ * site is one predictable branch, and attaching a tap never feeds
+ * back into simulated timing. Like the recorder and the checker it
+ * is instrumentation, not part of the design point: it never
+ * enters a sweep point key.
+ *
+ * The reuse-distance profiler (src/model) is the main
+ * implementation; trace replay (src/trace) can feed a tap from a
+ * recorded stream instead of a live machine.
+ */
+
+#ifndef SCMP_CORE_REF_TAP_HH
+#define SCMP_CORE_REF_TAP_HH
+
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** Passive observer of the data-reference stream. */
+class RefTap
+{
+  public:
+    virtual ~RefTap() = default;
+
+    /** One data reference, in issue order. Must not simulate. */
+    virtual void onRef(CpuId cpu, RefType type, Addr addr) = 0;
+};
+
+} // namespace scmp
+
+#endif // SCMP_CORE_REF_TAP_HH

@@ -20,6 +20,8 @@
 namespace scmp
 {
 
+struct RunResult;
+
 /**
  * The machine shape visible to a workload. SPLASH-era codes were
  * tuned to the machine's clustering (the paper partitions bodies
@@ -79,6 +81,16 @@ class ParallelWorkload
      * @return true when the computed result is acceptable.
      */
     virtual bool verify() { return true; }
+
+    /**
+     * Attach workload-specific metrics to the run's result after
+     * verify() — the server scenario reports request latency
+     * percentiles and throughput this way. Default: nothing.
+     */
+    virtual void annotate(RunResult &result) const
+    {
+        (void)result;
+    }
 };
 
 } // namespace scmp

@@ -335,6 +335,23 @@ Engine::addWork(Thread &t, std::uint64_t instrs)
 }
 
 void
+Engine::idleThread(Thread &t, Cycle until)
+{
+    flushWork(t);
+    if (until <= t.time)
+        return;
+    Cycle from = t.time;
+    t.time = until;
+    // Same rescheduling rule as a memory stall: a long idle lets
+    // the threads that fell behind run; a short one only yields
+    // when someone has dropped out of the slack window.
+    if ((CycleDelta)(until - from) > _options.yieldLatency)
+        yieldThread(t);
+    else
+        maybeYield(t);
+}
+
+void
 Engine::memFence(Thread &t)
 {
     // Synchronization accesses are strongly ordered: every store
@@ -471,6 +488,19 @@ void
 ThreadCtx::barrier(SimBarrier &b)
 {
     _engine.barrier(*(Engine::Thread *)_thread, b);
+}
+
+Cycle
+ThreadCtx::now() const
+{
+    const Engine::Thread &t = *(const Engine::Thread *)_thread;
+    return t.time + t.pendingWork;
+}
+
+void
+ThreadCtx::idleUntil(Cycle until)
+{
+    _engine.idleThread(*(Engine::Thread *)_thread, until);
 }
 
 void

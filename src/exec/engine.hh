@@ -260,6 +260,7 @@ class Engine
     /// @{
     void memRef(Thread &t, RefType type, Addr addr);
     void addWork(Thread &t, std::uint64_t instrs);
+    void idleThread(Thread &t, Cycle until);
     void acquire(Thread &t, SimLock &lock);
     void release(Thread &t, SimLock &lock);
     void barrier(Thread &t, SimBarrier &bar);
@@ -405,6 +406,16 @@ class ThreadCtx
     void unlock(SimLock &l);
     /** ANL BARRIER. */
     void barrier(SimBarrier &b);
+
+    /** This thread's simulated clock, including uncharged work. */
+    Cycle now() const;
+
+    /**
+     * Idle until cycle @p until without charging instructions —
+     * an open-loop workload waiting for its next arrival. No-op
+     * when @p until is not in the future.
+     */
+    void idleUntil(Cycle until);
 
     /** Voluntarily yield to the scheduler (rarely needed). */
     void yield();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The analytic evaluator: one reuse profile in, a predicted
+ * RunResult for any design point out.
+ *
+ * Given the reuse-distance profile of a workload (one profiling
+ * pass, see profile_run.hh), evaluate() predicts miss rate, bus
+ * occupancy and approximate execution cycles for an arbitrary
+ * machine configuration — any SCC size, associativity, line size
+ * the profile covers, cluster count and processors per cluster —
+ * in microseconds instead of a full simulation. This is the
+ * screening half of the two-speed design-space explorer: the
+ * analytic pass ranks the grid, the cycle-accurate simulator
+ * verifies only the frontier (sweep::SweepModel::Hybrid).
+ *
+ * Model summary:
+ *  - Capacity/conflict misses per cluster cache from the reuse
+ *    histogram at the matching interleave scope, with the Poisson
+ *    set-conflict correction for finite associativity.
+ *  - Cluster groupings the profile was not captured under are
+ *    predicted by merging per-cpu histograms with interleave
+ *    dilation (mergeCpuScopes).
+ *  - Cycles from the engine's timing identity (one cycle per
+ *    instruction, hit and miss latencies from the configuration)
+ *    with an M/D/1-style bus-contention fixed point and a load
+ *    imbalance factor from the per-cpu reference counts.
+ *
+ *  - Coherence misses from the profiler's per-line sharing masks
+ *    (a reference whose line a remote processor wrote since this
+ *    scope last held it is a sure miss under write-invalidate);
+ *    they also feed the predicted invalidation traffic.
+ *
+ * Known limits (they bound what the screen can rank, and the
+ * hybrid mode exists precisely because of them): synchronization
+ * serialization (locks, barriers) is not modelled, so speedups at
+ * high processor counts are optimistic, and write-update protocol
+ * traffic is treated like write-invalidate.
+ */
+
+#ifndef SCMP_MODEL_ANALYTIC_HH
+#define SCMP_MODEL_ANALYTIC_HH
+
+#include "core/machine.hh"
+#include "core/parallel_run.hh"
+#include "model/reuse_profile.hh"
+
+namespace scmp::model
+{
+
+/** Predicts design-point results from one reuse profile. */
+class AnalyticEvaluator
+{
+  public:
+    /** @p profile must outlive the evaluator. */
+    explicit AnalyticEvaluator(const ReuseProfile &profile);
+
+    /**
+     * Predict the outcome of running the profiled workload on
+     * @p config. Fatal if the profile does not cover
+     * config.scc.lineBytes. `verified` is true (nothing ran that
+     * could fail).
+     */
+    RunResult evaluate(const MachineConfig &config) const;
+
+    const ReuseProfile &profile() const { return _profile; }
+
+  private:
+    const ReuseProfile &_profile;
+};
+
+} // namespace scmp::model
+
+#endif // SCMP_MODEL_ANALYTIC_HH

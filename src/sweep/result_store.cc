@@ -49,6 +49,10 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"memSched\":" + jsonQuote(point.memSched);
     if (!point.consistency.empty())
         out += ",\"consistency\":" + jsonQuote(point.consistency);
+    if (!point.model.empty())
+        out += ",\"model\":" + jsonQuote(point.model);
+    if (point.jobs)
+        out += ",\"jobs\":" + std::to_string(point.jobs);
     out += ",\"wallMs\":" + jsonNumber(point.wallMs);
 
     const RunResult &r = point.result;
@@ -69,6 +73,15 @@ ResultStore::serialize(const StoredPoint &point)
     if (r.dramFills) {
         out += ",\"dramFills\":" + std::to_string(r.dramFills);
         out += ",\"dramRowHitRate\":" + jsonNumber(r.dramRowHitRate);
+    }
+    // Server-scenario latency metrics: only the server workload
+    // counts requests, so every other record stays byte-identical.
+    if (r.requests) {
+        out += ",\"requests\":" + std::to_string(r.requests);
+        out += ",\"latencyP50\":" + jsonNumber(r.latencyP50);
+        out += ",\"latencyP95\":" + jsonNumber(r.latencyP95);
+        out += ",\"latencyP99\":" + jsonNumber(r.latencyP99);
+        out += ",\"throughput\":" + jsonNumber(r.throughput);
     }
     out += "}";
 
@@ -152,6 +165,10 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
 
     const Json *consistency = doc.find("consistency");
     point.consistency = consistency ? consistency->asString() : "";
+    const Json *model = doc.find("model");
+    point.model = model ? model->asString() : "";
+    const Json *jobs = doc.find("jobs");
+    point.jobs = jobs ? (int)jobs->asU64() : 0;
     point.wallMs = wallMs->asDouble();
 
     RunResult &r = point.result;
@@ -197,6 +214,23 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     const Json *dramRowHitRate = result->find("dramRowHitRate");
     r.dramRowHitRate =
         dramRowHitRate ? dramRowHitRate->asDouble() : 0.0;
+    // Optional server-scenario fields.
+    const Json *requests = result->find("requests");
+    r.requests = requests ? requests->asU64() : 0;
+    struct OptDouble
+    {
+        const char *name;
+        double *slot;
+    } serverFields[] = {
+        {"latencyP50", &r.latencyP50},
+        {"latencyP95", &r.latencyP95},
+        {"latencyP99", &r.latencyP99},
+        {"throughput", &r.throughput},
+    };
+    for (const auto &field : serverFields) {
+        const Json *value = result->find(field.name);
+        *field.slot = value ? value->asDouble() : 0.0;
+    }
 
     const Json *stats = doc.find("stats");
     point.statsJson = stats ? stats->dump() : "";

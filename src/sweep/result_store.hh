@@ -53,6 +53,16 @@ struct StoredPoint
     std::string memSched;
     /** Consistency model name for src/mem/store_buffer sweeps. */
     std::string consistency;
+    /**
+     * Evaluation model that produced the record ("analytic" for
+     * screened points; empty = cycle-accurate, the historical
+     * default). Analytic records also carry a salted key so they
+     * can never be served where a cycle-accurate result is
+     * expected.
+     */
+    std::string model;
+    /** Worker threads the producing sweep ran with (0 = unknown). */
+    int jobs = 0;
     RunResult result;
     double wallMs = 0;          //!< host wall time of the simulation
     std::string statsJson;      //!< optional hierarchical stats dump

@@ -1,12 +1,16 @@
 #include "sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <numeric>
 #include <sstream>
 #include <thread>
 
+#include "model/analytic.hh"
+#include "model/profile_run.hh"
 #include "sim/logging.hh"
 #include "sweep/point_key.hh"
 
@@ -44,7 +48,46 @@ pointedPath(const std::string &path, std::uint64_t key)
     return path.substr(0, dot) + tag + path.substr(dot);
 }
 
+/**
+ * Store key for the analytic prediction of a point: the cycle
+ * key salted with the model name, so a screened record can never
+ * be served where a cycle-accurate result is expected (and vice
+ * versa on resume).
+ */
+std::uint64_t
+analyticKey(std::uint64_t key)
+{
+    KeyHasher hasher;
+    hasher.mix(key);
+    hasher.mix("analytic");
+    return hasher.value();
+}
+
 } // namespace
+
+SweepModel
+parseSweepModel(std::string_view text)
+{
+    if (text == "cycle")
+        return SweepModel::Cycle;
+    if (text == "analytic")
+        return SweepModel::Analytic;
+    if (text == "hybrid")
+        return SweepModel::Hybrid;
+    fatal("unknown sweep model '", std::string(text),
+          "' (expected cycle, analytic or hybrid)");
+}
+
+const char *
+sweepModelName(SweepModel model)
+{
+    switch (model) {
+      case SweepModel::Cycle: return "cycle";
+      case SweepModel::Analytic: return "analytic";
+      case SweepModel::Hybrid: return "hybrid";
+    }
+    return "?";
+}
 
 void
 setDefaultSweepOptions(const SweepOptions &options)
@@ -115,12 +158,95 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
     if (!_options.resultsPath.empty())
         store.open(_options.resultsPath, _options.resume);
 
-    // Partition the grid into stored points (served immediately)
+    // Analytic screen (analytic/hybrid): one functional profiling
+    // pass at the grid's widest cluster — the scope layout every
+    // grouping on the axis can be derived from — then a
+    // microseconds-per-point evaluation of the whole grid.
+    std::vector<RunResult> predicted;
+    std::vector<char> runCycle(
+        tasks.size(), _options.model != SweepModel::Analytic);
+    if (_options.model != SweepModel::Cycle && !tasks.empty()) {
+        auto profileStart = Clock::now();
+        MachineConfig profConfig = base;
+        profConfig.cpusPerCluster = *std::max_element(
+            clusterSizes.begin(), clusterSizes.end());
+        auto workload = factory();
+        workload->reseed(pointKey(profConfig, workloadName,
+                                  _options.scale));
+        model::ProfileRunOptions profileOptions;
+        profileOptions.sampleShift = _options.profileSampleShift;
+        profileOptions.maxSamples = _options.profileMaxSamples;
+        model::ReuseProfile profile = model::profileWorkload(
+            profConfig, *workload, profileOptions);
+        _stats.profileMs = msSince(profileStart);
+
+        model::AnalyticEvaluator evaluator(profile);
+        auto evalStart = Clock::now();
+        predicted.resize(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            predicted[i] = evaluator.evaluate(tasks[i].config);
+        _stats.analyticMs = msSince(evalStart);
+        _stats.screened = tasks.size();
+
+        if (_options.model == SweepModel::Hybrid) {
+            // Only the analytically best K points earn the
+            // cycle-accurate treatment; the rest keep their
+            // predictions.
+            std::size_t topK =
+                _options.topK > 0
+                    ? (std::size_t)_options.topK
+                    : std::max<std::size_t>(3, tasks.size() / 4);
+            topK = std::min(topK, tasks.size());
+            std::vector<std::size_t> order(tasks.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(
+                order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                    return predicted[a].cycles <
+                           predicted[b].cycles;
+                });
+            std::fill(runCycle.begin(), runCycle.end(), 0);
+            for (std::size_t k = 0; k < topK; ++k)
+                runCycle[order[k]] = 1;
+        }
+        if (_options.verbose) {
+            inform("sweep: ", workloadName, " analytic screen — ",
+                   tasks.size(), " points from one ",
+                   _stats.profileMs, " ms profile pass (",
+                   _stats.analyticMs, " ms to evaluate)");
+        }
+    }
+
+    // Partition the grid into screened points (served from the
+    // analytic predictions), stored points (served immediately)
     // and pending points (dealt to the workers).
     std::vector<DesignPoint> results(tasks.size());
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         const Task &task = tasks[i];
+        if (!runCycle[i]) {
+            results[i].cpusPerCluster = task.procs;
+            results[i].sccBytes = task.sccBytes;
+            results[i].result = predicted[i];
+            if (store.isOpen()) {
+                std::uint64_t screenKey = analyticKey(task.key);
+                if (!(_options.resume && store.find(screenKey))) {
+                    StoredPoint record;
+                    record.key = screenKey;
+                    record.workload = workloadName;
+                    record.scale = _options.scale;
+                    record.cpusPerCluster = task.procs;
+                    record.sccBytes = task.sccBytes;
+                    record.model = "analytic";
+                    record.jobs = 1;  // the screen is serial
+                    record.result = predicted[i];
+                    record.wallMs =
+                        _stats.analyticMs / (double)tasks.size();
+                    store.append(record);
+                }
+            }
+            continue;
+        }
         const StoredPoint *stored =
             _options.resume && store.isOpen() ? store.find(task.key)
                                               : nullptr;
@@ -150,6 +276,19 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
     std::atomic<std::size_t> completed{0};
     auto computeStart = Clock::now();
 
+    // Resolve the worker count up front so each stored record can
+    // carry the job count that actually produced it.
+    int jobs = _options.jobs;
+    if (jobs <= 0)
+        jobs = (int)std::thread::hardware_concurrency();
+    if (jobs < 1)
+        jobs = 1;
+    if ((std::size_t)jobs > pending.size())
+        jobs = (int)pending.size();
+    if (jobs < 1)
+        jobs = 1;
+    _stats.jobs = jobs;
+
     auto runOne = [&](std::size_t i) {
         const Task &task = tasks[i];
         auto workload = factory();
@@ -177,6 +316,7 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
             record.scale = _options.scale;
             record.cpusPerCluster = task.procs;
             record.sccBytes = task.sccBytes;
+            record.jobs = jobs;
             record.result = result;
             record.wallMs = wallMs;
             record.statsJson = statsJson.str();
@@ -200,14 +340,6 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
                    etaS, " s)");
         }
     };
-
-    int jobs = _options.jobs;
-    if (jobs <= 0)
-        jobs = (int)std::thread::hardware_concurrency();
-    if (jobs < 1)
-        jobs = 1;
-    if ((std::size_t)jobs > pending.size())
-        jobs = (int)pending.size();
 
     if (jobs <= 1) {
         // Serial reference path — same runOne, same order the old
@@ -270,9 +402,14 @@ SweepExecutor::run(const DesignSpace::WorkloadFactory &factory,
     _stats.computed = toCompute;
     _stats.wallMs = msSince(sweepStart);
     if (_options.verbose) {
+        std::size_t cyclePoints = _stats.computed + _stats.reused;
+        std::size_t served = _stats.screened > cyclePoints
+                                 ? _stats.screened - cyclePoints
+                                 : 0;
         inform("sweep: ", workloadName, " done — ",
                _stats.computed, " computed, ", _stats.reused,
-               " reused, ", _stats.wallMs / 1000.0, " s");
+               " reused, ", served, " screened, ",
+               _stats.wallMs / 1000.0, " s");
     }
 
     DesignGrid grid;

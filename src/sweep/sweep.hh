@@ -22,6 +22,7 @@
 #define SCMP_SWEEP_SWEEP_HH
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/design_space.hh"
@@ -31,11 +32,54 @@
 namespace scmp::sweep
 {
 
+/**
+ * Evaluation model for a grid sweep (--model=cycle|analytic|hybrid).
+ *
+ * Cycle runs every point through the cycle-accurate machine — the
+ * reference mode, and the only one whose results are exact.
+ * Analytic profiles the workload's reuse-distance histograms once
+ * (src/model) and predicts every point from that single pass —
+ * orders of magnitude faster, within the model's error bars.
+ * Hybrid screens the whole grid analytically, ranks points by
+ * predicted cycles, and runs only the top-K frontier
+ * cycle-accurately — fast where the grid is boring, exact where it
+ * matters.
+ */
+enum class SweepModel
+{
+    Cycle,
+    Analytic,
+    Hybrid,
+};
+
+/** Parse "cycle"/"analytic"/"hybrid"; fatal on anything else. */
+SweepModel parseSweepModel(std::string_view text);
+
+/** The canonical lowercase name of @p model. */
+const char *sweepModelName(SweepModel model);
+
 /** Execution knobs for one sweep (--jobs/--results/--resume). */
 struct SweepOptions
 {
     /** Worker threads; 1 = serial, 0 = one per hardware thread. */
     int jobs = 1;
+
+    /** Evaluation model (see SweepModel). */
+    SweepModel model = SweepModel::Cycle;
+
+    /**
+     * Hybrid mode: number of analytically top-ranked points that
+     * get the cycle-accurate treatment. 0 = auto, max(3, total/4).
+     */
+    int topK = 0;
+
+    /**
+     * Profiling-pass sampling knobs (analytic/hybrid): SHARDS
+     * sample shift (rate 1/2^shift, 0 = exact) and histogram
+     * recording cap (0 = unbounded). See model::ProfileRunOptions.
+     */
+    std::uint32_t profileSampleShift = 0;
+    std::uint64_t profileMaxSamples = 0;
 
     /** JSON-lines result store path; empty = no persistence. */
     std::string resultsPath;
@@ -74,7 +118,11 @@ struct SweepRunStats
     std::size_t total = 0;     //!< grid points requested
     std::size_t computed = 0;  //!< simulated this run
     std::size_t reused = 0;    //!< served from the result store
+    std::size_t screened = 0;  //!< evaluated analytically
     double wallMs = 0;         //!< whole-sweep host wall time
+    double profileMs = 0;      //!< reuse-profiling pass wall time
+    double analyticMs = 0;     //!< analytic evaluation wall time
+    int jobs = 0;              //!< worker threads actually used
 };
 
 /**

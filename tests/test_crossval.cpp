@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cross-validation of the analytic fast path (src/model) against
+ * the committed golden fixtures: one exact profiling pass per
+ * workload, then the evaluator's predicted miss rate at every
+ * golden-fixture point must land within 15% (relative) of the
+ * cycle-accurate fixture value.
+ *
+ * This is the accuracy contract behind --model=analytic/hybrid: the
+ * screen may be approximate, but never by more than the documented
+ * error bar at the pinned regression points. A failure here means
+ * the model (or the profiler's stream) drifted — recalibrate the
+ * conflict model or fix the profiling pass, do not widen the bound
+ * casually.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "golden_common.hh"
+#include "model/analytic.hh"
+#include "model/profile_run.hh"
+
+namespace
+{
+
+using namespace scmp;
+using namespace scmp::golden;
+
+constexpr double maxRelativeError = 0.15;
+
+/** Fixture records for one workload, keyed by point key. */
+std::map<std::uint64_t, sweep::StoredPoint>
+loadFixtures(const std::string &workload)
+{
+    std::string path = goldenPath(SCMP_GOLDEN_DIR, workload);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture file " << path
+                           << " — run golden_capture";
+    std::map<std::uint64_t, sweep::StoredPoint> records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        sweep::StoredPoint point;
+        std::string error;
+        EXPECT_TRUE(
+            sweep::ResultStore::deserialize(line, point, &error))
+            << path << ": " << error;
+        records[point.key] = point;
+    }
+    return records;
+}
+
+TEST(AnalyticCrossval, WithinErrorBarAtEveryGoldenPoint)
+{
+    for (const char *workload : {"barnes", "mp3d", "cholesky"}) {
+        auto fixtures = loadFixtures(workload);
+
+        // One profiling pass per workload, captured at the widest
+        // cluster the golden points use so every evaluation reads
+        // a directly-profiled scope (no dilation error on top of
+        // model error).
+        MachineConfig profConfig;
+        profConfig.cpusPerCluster = 4;
+        auto profiled = makeGoldenWorkload(workload);
+        model::ReuseProfile profile = model::profileWorkload(
+            profConfig, *profiled, model::ProfileRunOptions{});
+        model::AnalyticEvaluator evaluator(profile);
+
+        for (const GoldenSpec &spec : goldenSpecs()) {
+            if (std::string(spec.workload) != workload)
+                continue;
+            MachineConfig config = goldenMachine(spec);
+            std::uint64_t key = sweep::pointKey(
+                config, spec.workload, goldenScale);
+            auto it = fixtures.find(key);
+            ASSERT_NE(it, fixtures.end())
+                << "no fixture for " << workload << " procs="
+                << spec.cpusPerCluster;
+            double want = it->second.result.missRate;
+            ASSERT_GT(want, 0.0);
+
+            double got = evaluator.evaluate(config).missRate;
+            double relError = (got - want) / want;
+            EXPECT_LE(std::abs(relError), maxRelativeError)
+                << workload << " procs=" << spec.cpusPerCluster
+                << " scc=" << (spec.sccBytes >> 10)
+                << "K: predicted " << got << " vs golden " << want
+                << " (" << 100.0 * relError << "%)";
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the compute-server scenario (src/workloads/server):
+ * determinism, latency-percentile sanity, open-loop load response,
+ * and round-tripping the server metrics through the sweep
+ * ResultStore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_run.hh"
+#include "sweep/result_store.hh"
+#include "workloads/server/server.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+RunResult
+runServer(const server::ServerParams &params,
+          int cpusPerCluster = 2,
+          std::uint64_t sccBytes = 32ull << 10)
+{
+    MachineConfig config;
+    config.cpusPerCluster = cpusPerCluster;
+    config.scc.sizeBytes = sccBytes;
+    config.icache.enabled = true;
+    server::ServerWorkload workload(params);
+    return runParallel(config, workload);
+}
+
+TEST(Server, CompletesEveryRequestAndOrdersPercentiles)
+{
+    server::ServerParams params;
+    params.requests = 4000;
+    RunResult result = runServer(params);
+
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.requests, params.requests);
+    EXPECT_GT(result.latencyP50, 0.0);
+    EXPECT_LE(result.latencyP50, result.latencyP95);
+    EXPECT_LE(result.latencyP95, result.latencyP99);
+    EXPECT_GT(result.throughput, 0.0);
+}
+
+TEST(Server, BitDeterministicAcrossRuns)
+{
+    server::ServerParams params;
+    params.requests = 3000;
+    RunResult a = runServer(params);
+    RunResult b = runServer(params);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.references, b.references);
+    EXPECT_EQ(a.latencyP50, b.latencyP50);
+    EXPECT_EQ(a.latencyP95, b.latencyP95);
+    EXPECT_EQ(a.latencyP99, b.latencyP99);
+}
+
+TEST(Server, NameEncodesTheRequestStream)
+{
+    // The stream parameters are inputs to the simulation, so they
+    // must be part of the workload name (and thus the sweep point
+    // key) — two different streams can never share a store record.
+    server::ServerParams light;
+    light.requests = 1000;
+    server::ServerParams heavy = light;
+    heavy.offeredLoad = 0.95;
+    EXPECT_NE(server::ServerWorkload(light).name(),
+              server::ServerWorkload(heavy).name());
+    server::ServerParams longer = light;
+    longer.requests = 2000;
+    EXPECT_NE(server::ServerWorkload(light).name(),
+              server::ServerWorkload(longer).name());
+}
+
+TEST(Server, TailLatencyGrowsWithOfferedLoad)
+{
+    // Open loop means queueing delay lands in the measured latency:
+    // pushing the offered load toward saturation must not shrink
+    // the tail.
+    server::ServerParams light;
+    light.requests = 3000;
+    light.offeredLoad = 0.30;
+    server::ServerParams heavy = light;
+    heavy.offeredLoad = 0.95;
+
+    RunResult lightResult = runServer(light);
+    RunResult heavyResult = runServer(heavy);
+    EXPECT_GE(heavyResult.latencyP99, lightResult.latencyP99);
+}
+
+TEST(Server, MetricsRoundTripThroughResultStore)
+{
+    sweep::StoredPoint point;
+    point.key = 0xabcdef;
+    point.workload = "server-l0.70-r1000";
+    point.scale = "server";
+    point.cpusPerCluster = 4;
+    point.sccBytes = 32ull << 10;
+    point.model = "analytic";
+    point.jobs = 3;
+    point.result.cycles = 123456;
+    point.result.requests = 1000;
+    point.result.latencyP50 = 250;
+    point.result.latencyP95 = 900;
+    point.result.latencyP99 = 2500;
+    point.result.throughput = 8.1;
+
+    sweep::StoredPoint parsed;
+    std::string error;
+    ASSERT_TRUE(sweep::ResultStore::deserialize(
+        sweep::ResultStore::serialize(point), parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.model, "analytic");
+    EXPECT_EQ(parsed.jobs, 3);
+    EXPECT_EQ(parsed.result.requests, point.result.requests);
+    EXPECT_EQ(parsed.result.latencyP50, point.result.latencyP50);
+    EXPECT_EQ(parsed.result.latencyP95, point.result.latencyP95);
+    EXPECT_EQ(parsed.result.latencyP99, point.result.latencyP99);
+    EXPECT_EQ(parsed.result.throughput, point.result.throughput);
+
+    // Non-server records must serialize without the new keys so
+    // historical stores stay byte-identical.
+    sweep::StoredPoint plain;
+    plain.key = 1;
+    plain.workload = "barnes";
+    plain.scale = "quick";
+    std::string line = sweep::ResultStore::serialize(plain);
+    EXPECT_EQ(line.find("requests"), std::string::npos);
+    EXPECT_EQ(line.find("model"), std::string::npos);
+    EXPECT_EQ(line.find("jobs"), std::string::npos);
+}
+
+} // namespace
