@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Transactional-memory study: what does speculating past locks buy
+ * on the shared-cache machine?
+ *
+ * Runs the STAMP-character workloads (src/workloads/tm) through
+ * DesignSpace::tmSweep over {off, eager, lazy} × {atomic, split}
+ * × speculative set sizes. --tm=off executes the very same
+ * transaction call sites as plain lock/unlock critical sections,
+ * so its rows are the lock baseline the speedups are measured
+ * against. Each TM row reports execution time, the measured abort
+ * rate (aborts / attempts), fallback-lock acquisitions, and the
+ * speedup over the same fabric's lock baseline. The smallest set
+ * size is deliberately below the kmeans footprint: its rows show
+ * capacity aborts cascading into the fallback lock while the run
+ * still completes and verifies — the forward-progress guarantee.
+ *
+ * Extra flags on top of bench_common:
+ *   --set-entries=LIST  speculative set sizes (default 2,64)
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "workloads/tm/tm_workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scmp;
+    auto options = bench::parseBenchArgs(argc, argv);
+
+    const std::vector<TmMode> modes = {TmMode::Off, TmMode::Eager,
+                                       TmMode::Lazy};
+    const std::vector<NetTopology> topologies = {
+        NetTopology::Atomic, NetTopology::Split};
+    std::vector<int> setSizes = {2, 64};
+    if (options.config.has("set-entries")) {
+        setSizes.clear();
+        std::stringstream stream(
+            options.config.getString("set-entries"));
+        std::string token;
+        while (std::getline(stream, token, ','))
+            setSizes.push_back(std::stoi(token));
+    }
+
+    MachineConfig base;
+    base.numClusters = 4;
+    base.cpusPerCluster = 4;
+    base.scc.sizeBytes = 64 << 10;
+
+    tmwork::TmKmeansParams kmeans;
+    tmwork::TmVacationParams vacation;
+    switch (options.scale) {
+      case bench::Scale::Quick:
+        kmeans.points = 1024;
+        kmeans.rounds = 2;
+        vacation.txnsPerThread = 128;
+        break;
+      case bench::Scale::Default:
+        break;  // the workloads' defaults
+      case bench::Scale::Full:
+        kmeans.points = 8192;
+        kmeans.rounds = 4;
+        vacation.txnsPerThread = 1024;
+        break;
+    }
+
+    struct Study
+    {
+        const char *name;
+        DesignSpace::WorkloadFactory factory;
+    };
+    const Study studies[] = {
+        {"kmeans",
+         [kmeans] {
+             return std::make_unique<tmwork::TmKmeansWorkload>(
+                 kmeans);
+         }},
+        {"vacation",
+         [vacation] {
+             return std::make_unique<tmwork::TmVacationWorkload>(
+                 vacation);
+         }},
+    };
+
+    for (const Study &study : studies) {
+        auto points = DesignSpace::tmSweep(
+            study.factory, base, modes, topologies, setSizes,
+            options.sweep.verbose);
+
+        auto baselineAt = [&](NetTopology topology) -> Cycle {
+            for (const TmPoint &p : points) {
+                if (p.mode == TmMode::Off &&
+                    p.topology == topology)
+                    return p.result.cycles;
+            }
+            fatal("tm lock baseline missing from sweep");
+        };
+
+        Table table(std::string("TM: ") + study.name +
+                    " 4x4, 64KB SCC (speedup vs the --tm=off lock "
+                    "baseline on the same fabric)");
+        table.setHeader({"Fabric", "Manager", "Set", "Cycles",
+                         "Commits", "Abort rate", "Fallbacks",
+                         "Speedup"});
+        for (const TmPoint &p : points) {
+            if (p.mode == TmMode::Off) {
+                table.addRow(
+                    {netTopologyName(p.topology), "lock", "-",
+                     Table::cell(p.result.cycles), "-", "-", "-",
+                     Table::cell(1.0, 3)});
+                continue;
+            }
+            table.addRow(
+                {netTopologyName(p.topology), tmModeName(p.mode),
+                 Table::cell((std::uint64_t)p.setEntries),
+                 Table::cell(p.result.cycles),
+                 Table::cell(p.result.tmCommits),
+                 Table::cell(p.result.tmAbortRate, 3),
+                 Table::cell(p.result.tmFallbacks),
+                 Table::cell((double)baselineAt(p.topology) /
+                                 (double)p.result.cycles,
+                             3)});
+        }
+        bench::emit(table, options);
+    }
+    return 0;
+}

@@ -11,14 +11,21 @@
  * screen ranks the grid first and only the predicted frontier is
  * replayed cycle-accurately.
  *
+ * With --arrival=closed the stream becomes a closed loop — one
+ * client per processor, each thinking an exponential --think
+ * cycles after its previous request completes — so latency
+ * self-limits and the knee shows in throughput instead.
+ *
  * Usage:
  *   compute_server [--procs=LIST] [--scc=LIST] [--requests=N]
- *                  [--load=X] [--model=cycle|analytic|hybrid]
+ *                  [--load=X] [--arrival=open|closed] [--think=N]
+ *                  [--model=cycle|analytic|hybrid]
  *                  [--topk=K] [--jobs=N|auto] [--results=FILE]
  *                  [--resume] [--progress] [--csv]
  *
  * Examples:
  *   compute_server --requests=200000 --load=0.7
+ *   compute_server --arrival=closed --think=300 --requests=100000
  *   compute_server --procs=2,8 --scc=32K,256K --model=hybrid \
  *                  --topk=4 --requests=250000 --results=server.jsonl
  */
@@ -46,6 +53,14 @@ main(int argc, char **argv)
     params.requests =
         (std::uint64_t)config.getInt("requests", 100'000);
     params.offeredLoad = config.getDouble("load", 0.70);
+    std::string arrival = config.getString("arrival", "open");
+    if (arrival == "closed")
+        params.arrival = server::ArrivalMode::Closed;
+    else
+        fatal_if(arrival != "open",
+                 "--arrival must be 'open' or 'closed' (got '",
+                 arrival, "')");
+    params.thinkTime = (Cycle)config.getInt("think", 400);
 
     std::vector<int> procs;
     {
@@ -98,11 +113,18 @@ main(int argc, char **argv)
                     "latencyP50,latencyP95,latencyP99,"
                     "throughputPerKcycle\n");
     } else {
-        std::printf("open-loop server: %llu requests, offered "
-                    "load %.2f, model %s (%zu computed, %zu "
+        if (params.arrival == server::ArrivalMode::Closed)
+            std::printf("closed-loop server: %llu requests, mean "
+                        "think %llu cycles, ",
+                        (unsigned long long)params.requests,
+                        (unsigned long long)params.thinkTime);
+        else
+            std::printf("open-loop server: %llu requests, offered "
+                        "load %.2f, ",
+                        (unsigned long long)params.requests,
+                        params.offeredLoad);
+        std::printf("model %s (%zu computed, %zu "
                     "screened, %.1f s)\n",
-                    (unsigned long long)params.requests,
-                    params.offeredLoad,
                     sweep::sweepModelName(options.model),
                     stats.computed,
                     stats.screened > stats.computed

@@ -8,7 +8,8 @@
  * binary a downstream user scripts sweeps with.
  *
  * Usage:
- *   scmp_sim <barnes|mp3d|cholesky|multiprog|fuzz>
+ *   scmp_sim <barnes|mp3d|cholesky|multiprog|fuzz
+ *             |tmkmeans|tmvacation>
  *     [--clusters=N] [--procs=N] [--scc=SIZE] [--line=SIZE]
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
@@ -17,6 +18,8 @@
  *     [--mem=flat|banked] [--channels=N] [--mem-banks=N]
  *     [--mem-sched=fcfs|frfcfs]
  *     [--consistency=sc|weak] [--sb-entries=N]
+ *     [--tm=off|eager|lazy] [--tm-set-entries=N]
+ *     [--tm-max-aborts=N]
  *     [--icache=0|1] [--check] [--stats] [--csv]
  *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
  *   scmp_sim --list
@@ -25,10 +28,13 @@
  *       mp3d:     [--particles=N] [--steps=N]
  *       cholesky: [--grid-rows=N] [--grid-cols=N]
  *       multiprog:[--refs=N] [--quantum=N]
+ *       tmkmeans: [--points=N] [--centroids=N] [--rounds=N]
+ *       tmvacation: [--resources=N] [--capacity=N] [--txns=N]
+ *                 [--query-range=N]
  *       fuzz:     [--seed=N] [--fuzz-steps=N] [--hot-lines=N]
  *                 [--private-lines=N] [--write-frac=X]
  *                 [--shared-frac=X] [--false-share-frac=X]
- *                 [--fence-frac=X]
+ *                 [--fence-frac=X] [--txn-frac=X] [--txn-len=N]
  *
  * --check attaches the coherence checker (src/check): a golden
  * functional memory verifies every load, and tag-array invariant
@@ -64,6 +70,7 @@
 #include "workloads/splash/barnes.hh"
 #include "workloads/splash/cholesky.hh"
 #include "workloads/splash/mp3d.hh"
+#include "workloads/tm/tm_workloads.hh"
 
 namespace
 {
@@ -153,6 +160,19 @@ machineFromFlags(const Config &config)
     machine.consistency.storeBufferEntries =
         (int)config.getInt("sb-entries", 8);
 
+    // Transactional memory (src/tm). The default is off — plain
+    // locks, the baseline the TM figures measure speedup against;
+    // --tm={eager,lazy} selects the conflict manager.
+    std::string tm = config.getString("tm", "off");
+    if (!parseTmMode(tm, &machine.tm.mode)) {
+        fatal("--tm must be 'off', 'eager' or 'lazy' (got '", tm,
+              "'); see --list");
+    }
+    machine.tm.setEntries =
+        (int)config.getInt("tm-set-entries", machine.tm.setEntries);
+    machine.tm.maxAborts =
+        (int)config.getInt("tm-max-aborts", machine.tm.maxAborts);
+
     machine.checkCoherence = config.getBool("check", false);
 
     // Observability (src/obs). A bare --obs picks a default trace
@@ -188,7 +208,8 @@ commonFlags()
         "organization", "protocol", "bus-occupancy", "net",
         "segments", "arbitration", "sf-cap",
         "mem", "channels", "mem-banks", "mem-sched",
-        "consistency", "sb-entries", "icache",
+        "consistency", "sb-entries",
+        "tm", "tm-set-entries", "tm-max-aborts", "icache",
         "check", "stats", "csv", "obs", "obs-interval",
         "obs-series", "list",
     };
@@ -205,10 +226,13 @@ workloadFlags()
             {"mp3d", {"particles", "steps"}},
             {"cholesky", {"grid-rows", "grid-cols"}},
             {"multiprog", {"refs", "quantum"}},
+            {"tmkmeans", {"points", "centroids", "rounds"}},
+            {"tmvacation",
+             {"resources", "capacity", "txns", "query-range"}},
             {"fuzz",
              {"seed", "fuzz-steps", "hot-lines", "private-lines",
               "write-frac", "shared-frac", "false-share-frac",
-              "fence-frac"}},
+              "fence-frac", "txn-frac", "txn-len"}},
         };
     return flags;
 }
@@ -217,8 +241,8 @@ void
 printUsage(std::FILE *out)
 {
     std::fprintf(out,
-                 "usage: scmp_sim "
-                 "<barnes|mp3d|cholesky|multiprog|fuzz> [flags]\n"
+                 "usage: scmp_sim <barnes|mp3d|cholesky|multiprog"
+                 "|fuzz|tmkmeans|tmvacation> [flags]\n"
                  "       scmp_sim --list\n"
                  "see the file header for the flag list\n");
 }
@@ -235,6 +259,10 @@ printList()
                 "factorization\n");
     std::printf("  multiprog  multiprogrammed SPEC-like apps, "
                 "round-robin scheduled\n");
+    std::printf("  tmkmeans   STAMP-kmeans-like clustering, "
+                "transactional accumulators\n");
+    std::printf("  tmvacation STAMP-vacation-like reservations, "
+                "all-or-nothing bookings\n");
     std::printf("  fuzz       randomized coherence traffic "
                 "(pairs with --check)\n");
     std::printf("protocols:\n");
@@ -267,6 +295,20 @@ printList()
     std::printf("  weak       weak ordering: per-CPU store buffers "
                 "(--sb-entries=N), fences at\n"
                 "             the ANL lock/unlock/barrier points\n");
+    std::printf("transactional memory (--tm):\n");
+    std::printf("  off        plain locks — the baseline TM "
+                "speedups divide by (default)\n");
+    std::printf("  eager      LogTM-style: conflicts detected at "
+                "access time, requester\n"
+                "             aborts on an older conflictor "
+                "(timestamp tiebreak)\n");
+    std::printf("  lazy       TSX-style: conflicts detected at "
+                "commit, committer wins\n");
+    std::printf("             (--tm-set-entries=N bounds each "
+                "read/write set — capacity\n"
+                "             aborts past it; --tm-max-aborts=N "
+                "retries before the\n"
+                "             fallback lock)\n");
     return 0;
 }
 
@@ -297,6 +339,17 @@ runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
         machineConfig.consistency.model == ConsistencyModel::Weak
             ? 0.02
             : 0.0);
+    // A TM machine defaults to a sprinkle of random transactions,
+    // mirroring the weak-ordering fence default: explicit
+    // --txn-frac overrides, and --tm=off keeps 0 so existing seeds
+    // replay untouched.
+    params.txnFraction = config.getDouble(
+        "txn-frac",
+        machineConfig.tm.mode != TmMode::Off ? 0.05 : 0.0);
+    params.txnLength = (int)config.getInt("txn-len", 8);
+    fatal_if(params.txnFraction > 0 &&
+                 machineConfig.tm.mode == TmMode::Off,
+             "--txn-frac needs --tm=eager or --tm=lazy");
 
     Machine machine(machineConfig);
     check::TrafficGen gen(params);
@@ -307,9 +360,10 @@ runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
                                : 0;
     if (csv) {
         std::printf("seed,steps,reads,writes,shared,falseShare,"
-                    "private,checks\n");
+                    "private,txns,txnCommits,txnAborts,checks\n");
         std::printf(
-            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu\n",
             (unsigned long long)params.seed,
             (unsigned long long)params.steps,
             (unsigned long long)traffic.reads,
@@ -317,6 +371,9 @@ runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
             (unsigned long long)traffic.sharedRefs,
             (unsigned long long)traffic.falseShareRefs,
             (unsigned long long)traffic.privateRefs,
+            (unsigned long long)traffic.txns,
+            (unsigned long long)traffic.txnCommits,
+            (unsigned long long)traffic.txnAborts,
             (unsigned long long)checks);
         return 0;
     }
@@ -331,6 +388,13 @@ runFuzz(const Config &config, MachineConfig machineConfig, bool csv)
                 (unsigned long long)traffic.privateRefs);
     std::printf("read miss rate      %.2f%%\n",
                 100.0 * machine.readMissRate());
+    if (traffic.txns) {
+        std::printf("transactions        %llu (%llu committed, "
+                    "%llu aborted)\n",
+                    (unsigned long long)traffic.txns,
+                    (unsigned long long)traffic.txnCommits,
+                    (unsigned long long)traffic.txnAborts);
+    }
     std::printf("checks performed    %llu\n",
                 (unsigned long long)checks);
     return 0;
@@ -445,6 +509,21 @@ main(int argc, char **argv)
         params.gridRows = (int)config.getInt("grid-rows", 42);
         params.gridCols = (int)config.getInt("grid-cols", 43);
         workload = std::make_unique<splash::Cholesky>(params);
+    } else if (which == "tmkmeans") {
+        tmwork::TmKmeansParams params;
+        params.points = (int)config.getInt("points", 2048);
+        params.clusters = (int)config.getInt("centroids", 8);
+        params.rounds = (int)config.getInt("rounds", 3);
+        workload =
+            std::make_unique<tmwork::TmKmeansWorkload>(params);
+    } else if (which == "tmvacation") {
+        tmwork::TmVacationParams params;
+        params.resources = (int)config.getInt("resources", 64);
+        params.capacity = (int)config.getInt("capacity", 16);
+        params.txnsPerThread = (int)config.getInt("txns", 256);
+        params.queryRange = (int)config.getInt("query-range", 4);
+        workload =
+            std::make_unique<tmwork::TmVacationWorkload>(params);
     } else {
         fatal("unknown workload '", which, "'");
     }

@@ -13,6 +13,11 @@ turns a store into line charts:
   * net-scaling stores (records tagged with "clusters"/"net", as
     written by fig_net_scaling or DesignSpace::netScalingSweep):
     one curve per interconnect topology over the cluster axis.
+  * tm stores (records tagged with "tm"/"tmEntries", as written by
+    fig_tm or DesignSpace::tmSweep): one curve per conflict
+    manager/fabric combination over the speculative-set-size axis
+    — use --metric=tmAbortRate for the abort-rate figure. The
+    --tm=off lock baselines carry no set size and are skipped.
   * plain design-space stores: one curve per workload/procs pair
     over the SCC-size axis (the paper's cache-warming shape).
 
@@ -31,7 +36,8 @@ records carry no latency sample and are skipped.
 Usage: scripts/sweep_plot.py RESULTS.jsonl [--out=PREFIX]
            [--metric=cycles|readMissRate|missRate|busUtilization|
                      busTransactions|invalidations|dramFills|
-                     dramRowHitRate]
+                     dramRowHitRate|tmAbortRate|tmCommits|
+                     tmAborts|tmFallbacks]
            [--latency] [--png]
 """
 
@@ -87,6 +93,20 @@ def series_from_store(records, metric):
             series[label].append(
                 (r["banks"], metric_of(r, metric)))
         xlabel = "banks per channel"
+    elif any(r.get("tm") for r in records):
+        series = defaultdict(list)
+        for r in records:
+            # The --tm=off lock baselines have no set size (and no
+            # tm result group), so they have no place on this axis.
+            if not r.get("tm") or not r.get("tmEntries"):
+                continue
+            if metric.startswith("tm") and \
+                    metric not in r.get("result", {}):
+                continue
+            label = f"{r['tm']}/{r.get('net', '?')}"
+            series[label].append(
+                (r["tmEntries"], metric_of(r, metric)))
+        xlabel = "speculative set entries"
     elif any(r.get("net") for r in records):
         series = defaultdict(list)
         for r in records:

@@ -47,7 +47,15 @@ CoherenceChecker::CoherenceChecker(
       forwardsChecked(&_group, "forwardsChecked",
                       "store-buffer read bypasses verified"),
       fencesChecked(&_group, "fencesChecked",
-                    "fences verified to have drained")
+                    "fences verified to have drained"),
+      tmCommitsChecked(&_group, "tmCommitsChecked",
+                       "transaction commits validated"),
+      tmReadSetChecks(&_group, "tmReadSetChecks",
+                      "transactional read-set words validated"),
+      tmPublishesChecked(&_group, "tmPublishesChecked",
+                         "commit publication writes matched"),
+      tmAbortsChecked(&_group, "tmAbortsChecked",
+                      "transaction aborts verified unpublished")
 {
     for (std::size_t i = 0; i < _caches.size(); ++i) {
         panic_if(!_caches[i], "checker: null cache at index ", i);
@@ -109,6 +117,7 @@ CoherenceChecker::onCpuAccessEnd(CpuId cpu, int cacheIdx,
                  " — a coherence action was lost");
         _lastLoadValue = got;
         ++loadsChecked;
+        tmOnVerifiedRead(cpu, addr, got);
         return;
     }
 
@@ -123,6 +132,7 @@ CoherenceChecker::onCpuAccessEnd(CpuId cpu, int cacheIdx,
              " — write-invalidate writes must end Modified");
     _oracle.commitWrite(cacheIdx, addr, _pending.seq);
     ++storesChecked;
+    tmOnVerifiedWrite(cpu, addr);
 }
 
 std::deque<CoherenceChecker::BufferedStore> &
@@ -252,6 +262,158 @@ CoherenceChecker::onFence(CpuId cpu)
     ++fencesChecked;
 }
 
+CoherenceChecker::TmMirror &
+CoherenceChecker::tmMirrorOf(CpuId cpu)
+{
+    panic_if(cpu < 0, "checker: bad cpu id ", cpu);
+    if ((std::size_t)cpu >= _tmMirrors.size())
+        _tmMirrors.resize((std::size_t)cpu + 1);
+    return _tmMirrors[(std::size_t)cpu];
+}
+
+void
+CoherenceChecker::tmOnVerifiedRead(CpuId cpu, Addr addr, Value got)
+{
+    if (cpu < 0 || (std::size_t)cpu >= _tmMirrors.size())
+        return;
+    TmMirror &m = _tmMirrors[(std::size_t)cpu];
+    if (m.phase == TmMirror::Phase::Idle)
+        return;
+    panic_if(m.phase == TmMirror::Phase::Publishing,
+             "ORACLE: cpu ", cpu, " read 0x", std::hex, addr,
+             std::dec, " in the middle of its own commit "
+             "publication");
+    // Snapshot semantics: the first read of a word fixes what the
+    // whole transaction must observe; any later read returning a
+    // different write is an isolation violation caught on the spot
+    // (commit validation catches the rest).
+    Addr word = _oracle.wordOf(addr);
+    auto it = m.readSet.find(word);
+    if (it == m.readSet.end()) {
+        m.readSet.emplace(word, got);
+        return;
+    }
+    panic_if(it->second != got,
+             "ORACLE: isolation violated! cpu ", cpu,
+             " re-read 0x", std::hex, word, std::dec,
+             " inside a transaction and observed write #", got,
+             " after first observing write #", it->second);
+    ++tmReadSetChecks;
+}
+
+void
+CoherenceChecker::tmOnVerifiedWrite(CpuId cpu, Addr addr)
+{
+    if (cpu < 0 || (std::size_t)cpu >= _tmMirrors.size())
+        return;
+    TmMirror &m = _tmMirrors[(std::size_t)cpu];
+    if (m.phase == TmMirror::Phase::Idle)
+        return;
+    panic_if(m.phase == TmMirror::Phase::Active,
+             "ORACLE: atomicity violated! cpu ", cpu,
+             " committed a write of 0x", std::hex, addr, std::dec,
+             " to golden memory inside a transaction, before "
+             "commit publication");
+    Addr word = _oracle.wordOf(addr);
+    auto it = m.writeSet.find(word);
+    panic_if(it == m.writeSet.end(),
+             "ORACLE: cpu ", cpu, " published 0x", std::hex, word,
+             std::dec,
+             " at commit, but the transaction never speculatively "
+             "wrote that word");
+    it->second = true;
+    ++tmPublishesChecked;
+}
+
+void
+CoherenceChecker::onTmBegin(CpuId cpu)
+{
+    TmMirror &m = tmMirrorOf(cpu);
+    panic_if(m.phase != TmMirror::Phase::Idle,
+             "checker: cpu ", cpu,
+             " began a transaction inside a transaction");
+    m.phase = TmMirror::Phase::Active;
+    m.readSet.clear();
+    m.writeSet.clear();
+}
+
+void
+CoherenceChecker::onTmStore(CpuId cpu, Addr wordAddr)
+{
+    TmMirror &m = tmMirrorOf(cpu);
+    panic_if(m.phase != TmMirror::Phase::Active,
+             "checker: cpu ", cpu,
+             " speculatively stored outside an active transaction");
+    m.writeSet[_oracle.wordOf(wordAddr)] = false;
+}
+
+void
+CoherenceChecker::onTmCommitStart(CpuId cpu)
+{
+    TmMirror &m = tmMirrorOf(cpu);
+    panic_if(m.phase != TmMirror::Phase::Active,
+             "checker: cpu ", cpu,
+             " committed without an active transaction");
+    // Isolation validation: everything this transaction read must
+    // still be the newest committed write NOW, at the serialization
+    // point, or the transaction observed a state that never existed
+    // atomically. Runs before publication so the transaction's own
+    // writes cannot self-conflict.
+    for (const auto &entry : m.readSet) {
+        panic_if(_oracle.golden(entry.first) != entry.second,
+                 "ORACLE: isolation violated! cpu ", cpu,
+                 " is committing a transaction that observed "
+                 "write #", entry.second, " of word 0x", std::hex,
+                 entry.first, std::dec,
+                 " but the newest committed write is #",
+                 _oracle.golden(entry.first),
+                 " — a conflicting writer was not detected");
+        ++tmReadSetChecks;
+    }
+    m.phase = TmMirror::Phase::Publishing;
+    ++tmCommitsChecked;
+}
+
+void
+CoherenceChecker::onTmCommitEnd(CpuId cpu)
+{
+    TmMirror &m = tmMirrorOf(cpu);
+    panic_if(m.phase != TmMirror::Phase::Publishing,
+             "checker: cpu ", cpu,
+             " finished a commit it never started");
+    // All-at-once visibility: every speculative word must have
+    // published inside the commit window.
+    for (const auto &entry : m.writeSet) {
+        panic_if(!entry.second,
+                 "ORACLE: atomicity violated! cpu ", cpu,
+                 " committed a transaction but never published "
+                 "speculative word 0x", std::hex, entry.first,
+                 std::dec);
+    }
+    m.phase = TmMirror::Phase::Idle;
+    m.readSet.clear();
+    m.writeSet.clear();
+}
+
+void
+CoherenceChecker::onTmAbort(CpuId cpu)
+{
+    TmMirror &m = tmMirrorOf(cpu);
+    // Publication is all-or-nothing: a manager that starts
+    // publishing must commit; aborting mid-publication would leave
+    // a partial transaction visible forever.
+    panic_if(m.phase != TmMirror::Phase::Active,
+             "ORACLE: atomicity violated! cpu ", cpu,
+             " aborted a transaction ",
+             m.phase == TmMirror::Phase::Publishing
+                 ? "in the middle of commit publication"
+                 : "it never began");
+    m.phase = TmMirror::Phase::Idle;
+    m.readSet.clear();
+    m.writeSet.clear();
+    ++tmAbortsChecked;
+}
+
 void
 CoherenceChecker::onEvict(ClusterId cache, Addr lineAddr, bool dirty)
 {
@@ -360,7 +522,11 @@ CoherenceChecker::checksPerformed() const
                            storesChecked.value() +
                            lineChecks.value() + fullWalks.value() +
                            forwardsChecked.value() +
-                           fencesChecked.value());
+                           fencesChecked.value() +
+                           tmCommitsChecked.value() +
+                           tmReadSetChecks.value() +
+                           tmPublishesChecked.value() +
+                           tmAbortsChecked.value());
 }
 
 } // namespace scmp::check

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "check/invariant.hh"
@@ -111,6 +112,28 @@ class CoherenceChecker : public CoherenceObserver
     void onFence(CpuId cpu) override;
     /// @}
 
+    /// @name Transactional-memory events (--tm={eager,lazy}).
+    ///
+    /// The atomicity/isolation half of the oracle. Each CPU's open
+    /// transaction is mirrored: its verified reads build a read-set
+    /// snapshot (word -> observed write seq), its speculative
+    /// stores build a write set that must NOT touch golden memory,
+    /// and commit splits into a validation point (every read-set
+    /// word must still match golden memory — isolation) followed by
+    /// publication (every speculative word committed exactly once,
+    /// through the normal bracketed-write checks — all-at-once
+    /// atomicity). An abort must arrive before publication started,
+    /// so aborted writes structurally never reach golden memory. A
+    /// transactional CPU writing outside its publication window, or
+    /// a commit that drops a speculative word, dies here.
+    /// @{
+    void onTmBegin(CpuId cpu) override;
+    void onTmStore(CpuId cpu, Addr wordAddr) override;
+    void onTmCommitStart(CpuId cpu) override;
+    void onTmCommitEnd(CpuId cpu) override;
+    void onTmAbort(CpuId cpu) override;
+    /// @}
+
     /** Sweep every tag array now; panics on violation. */
     void fullWalk();
 
@@ -154,6 +177,26 @@ class CoherenceChecker : public CoherenceObserver
     /** The per-CPU FIFO mirror of @p cpu's store buffer. */
     std::deque<BufferedStore> &bufferOf(CpuId cpu);
 
+    /** The oracle's mirror of one CPU's open transaction. */
+    struct TmMirror
+    {
+        enum class Phase { Idle, Active, Publishing };
+        Phase phase = Phase::Idle;
+        /** Read-set snapshot: word -> write seq observed first. */
+        std::unordered_map<Addr, Value> readSet;
+        /** Speculative write set: word -> published yet? */
+        std::unordered_map<Addr, bool> writeSet;
+    };
+
+    /** The transaction mirror of @p cpu, grown on first use. */
+    TmMirror &tmMirrorOf(CpuId cpu);
+
+    /** Read-path TM bookkeeping after the golden check passed. */
+    void tmOnVerifiedRead(CpuId cpu, Addr addr, Value got);
+
+    /** Write-path TM bookkeeping after the commit was verified. */
+    void tmOnVerifiedWrite(CpuId cpu, Addr addr);
+
     std::vector<const SharedClusterCache *> _caches;
     CoherenceProtocol _protocol;
     CheckerOptions _options;
@@ -165,6 +208,9 @@ class CoherenceChecker : public CoherenceObserver
 
     /** Indexed by CpuId, grown on first use. */
     std::vector<std::deque<BufferedStore>> _buffered;
+
+    /** Indexed by CpuId, grown on first use. */
+    std::vector<TmMirror> _tmMirrors;
 
     stats::Group _group;
 
@@ -179,6 +225,10 @@ class CoherenceChecker : public CoherenceObserver
     stats::Scalar eventsObserved; //!< protocol events mirrored
     stats::Scalar forwardsChecked; //!< read bypasses verified
     stats::Scalar fencesChecked;  //!< fences verified empty
+    stats::Scalar tmCommitsChecked; //!< commit validations run
+    stats::Scalar tmReadSetChecks; //!< read-set words validated
+    stats::Scalar tmPublishesChecked; //!< publication writes matched
+    stats::Scalar tmAbortsChecked; //!< aborts verified unpublished
     /// @}
 };
 

@@ -31,6 +31,10 @@ TrafficGen::TrafficGen(const TrafficParams &params)
     panic_if(_params.fenceFraction < 0 ||
                  _params.fenceFraction > 1,
              "fuzz: fence fraction must be in [0,1]");
+    panic_if(_params.txnFraction < 0 || _params.txnFraction > 1,
+             "fuzz: txn fraction must be in [0,1]");
+    panic_if(_params.txnFraction > 0 && _params.txnLength <= 0,
+             "fuzz: txn length must be positive");
 }
 
 Addr
@@ -77,20 +81,53 @@ TrafficGen::run(MemorySystem &mem)
 
     TrafficStats stats;
     std::vector<Cycle> clock((std::size_t)_params.totalCpus, 0);
+    // TM fuzzing only: references left in each cpu's open txn
+    // (0 = none open). Settling a transaction commits it unless the
+    // manager doomed it in the meantime, in which case it aborts.
+    std::vector<int> txnLeft((std::size_t)_params.totalCpus, 0);
+    auto settleTxn = [&](int cpu, Cycle &now) {
+        txnLeft[(std::size_t)cpu] = 0;
+        if (mem.tmPoll(cpu)) {
+            ++stats.txnAborts;
+            now = mem.tmAbort(cpu, now) + 1;
+            return;
+        }
+        bool committed = false;
+        now = mem.tmCommit(cpu, now, &committed) + 1;
+        if (committed) {
+            ++stats.txnCommits;
+        } else {
+            ++stats.txnAborts;
+            now = mem.tmAbort(cpu, now) + 1;
+        }
+    };
 
     for (std::uint64_t step = 0; step < _params.steps; ++step) {
         // Fixed round-robin interleaving keeps replay independent
         // of the timing model's answers.
         int cpu = (int)(step % (std::uint64_t)_params.totalCpus);
         Cycle &now = clock[(std::size_t)cpu];
+        bool inTxn = txnLeft[(std::size_t)cpu] > 0;
         // Random full fences stress the weak-ordering drain paths.
         // The chance() draw only happens when fences are requested,
-        // so every pre-existing seed replays bit-identically.
-        if (_params.fenceFraction > 0 &&
+        // so every pre-existing seed replays bit-identically. Not
+        // inside transactions — a fence has no transactional
+        // meaning here (and TM requires SC, where it is a no-op).
+        if (!inTxn && _params.fenceFraction > 0 &&
             _rng.chance(_params.fenceFraction)) {
             ++stats.fences;
             now = mem.fence(cpu, now) + 1;
             continue;
+        }
+        // Transaction openings are draw-gated exactly like fences.
+        if (!inTxn && _params.txnFraction > 0 &&
+            _rng.chance(_params.txnFraction)) {
+            ++stats.txns;
+            now = mem.tmBegin(cpu, now) + 1;
+            txnLeft[(std::size_t)cpu] =
+                1 + (int)_rng.range((std::uint64_t)
+                                    _params.txnLength);
+            inTxn = true;
         }
         Addr addr = pickAddr(cpu, stats);
         RefType type = _rng.chance(_params.writeFraction)
@@ -102,13 +139,18 @@ TrafficGen::run(MemorySystem &mem)
             ++stats.reads;
         std::uint32_t gap = (std::uint32_t)(1 + _rng.range(8));
         now = mem.access(cpu, type, addr, now, gap) + 1;
+        if (inTxn && --txnLeft[(std::size_t)cpu] == 0)
+            settleTxn(cpu, now);
     }
 
-    // Final fences: leave no store stranded in a buffer, so the
-    // run's stats and teardown walks reflect a fully performed
-    // stream (no-op for sequentially consistent targets).
+    // Settle any transaction still open, then final fences: leave
+    // no store stranded in a buffer, so the run's stats and
+    // teardown walks reflect a fully performed stream (both no-ops
+    // for plain sequentially consistent targets).
     for (int cpu = 0; cpu < _params.totalCpus; ++cpu) {
         Cycle &now = clock[(std::size_t)cpu];
+        if (txnLeft[(std::size_t)cpu] > 0)
+            settleTxn(cpu, now);
         now = mem.fence(cpu, now);
     }
     return stats;

@@ -62,6 +62,21 @@ struct TrafficParams
      * and therefore every existing seed's replay — is untouched.
      */
     double fenceFraction = 0.0;
+
+    /**
+     * P(a step opens a transaction when the processor has none).
+     * While a transaction is open the processor's references route
+     * through the TM manager automatically (Machine::access); the
+     * generator commits after 1..txnLength references, aborting
+     * doomed transactions as it polls them. Keep 0 (the default)
+     * for non-transactional targets — like fenceFraction, the
+     * extra draws only happen when requested, so every existing
+     * seed replays bit-identically.
+     */
+    double txnFraction = 0.0;
+
+    /** Max references per generated transaction. */
+    int txnLength = 8;
 };
 
 /** Counters summarizing one fuzz run. */
@@ -73,6 +88,9 @@ struct TrafficStats
     std::uint64_t falseShareRefs = 0;
     std::uint64_t privateRefs = 0;
     std::uint64_t fences = 0;
+    std::uint64_t txns = 0;        //!< transactions opened
+    std::uint64_t txnCommits = 0;
+    std::uint64_t txnAborts = 0;
 };
 
 /**

@@ -109,6 +109,19 @@ struct ConsistencyPoint
     RunResult result;
 };
 
+/**
+ * One evaluated TM manager × fabric × set-size point (src/tm
+ * study). Off points carry the lock baseline the speedup column
+ * divides by.
+ */
+struct TmPoint
+{
+    TmMode mode = TmMode::Off;
+    NetTopology topology = NetTopology::Atomic;
+    int setEntries = 0;
+    RunResult result;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -190,6 +203,23 @@ class DesignSpace
         const std::vector<ConsistencyModel> &models,
         const std::vector<NetTopology> &topologies,
         const std::vector<NetArbitration> &arbitrations,
+        bool verbose = false);
+
+    /**
+     * The transactional-memory study: run the workload over {TM
+     * mode} × {net topology} × {read/write-set entries}, through
+     * the same result-store/resume/obs plumbing as sweep(). Set
+     * size only exists when a conflict manager does, so --tm=off
+     * baselines are evaluated once per topology (with the first
+     * set size) instead of duplicating identical points. Each
+     * stored record carries its "tm"/"tmEntries"/"net" axes.
+     * Defined in scmp_sweep.
+     */
+    static std::vector<TmPoint> tmSweep(
+        const WorkloadFactory &factory, MachineConfig base,
+        const std::vector<TmMode> &modes,
+        const std::vector<NetTopology> &topologies,
+        const std::vector<int> &setSizes,
         bool verbose = false);
 
     /**

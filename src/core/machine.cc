@@ -20,6 +20,16 @@ MachineConfig::check() const
         fatal_if(consistency.storeBufferEntries <= 0,
                  "--sb-entries must be at least one");
     }
+    if (tm.mode != TmMode::Off) {
+        fatal_if(tm.setEntries <= 0,
+                 "--tm-set-entries must be at least one");
+        fatal_if(tm.maxAborts <= 0,
+                 "--tm-max-aborts must be at least one");
+        fatal_if(consistency.model != ConsistencyModel::Sc,
+                 "--tm requires sequential consistency: commit "
+                 "publication provides its own ordering and does "
+                 "not compose with per-CPU store buffers");
+    }
     fatal_if(net.segments <= 0,
              "--segments must be at least one");
     if (dram.kind == MemBackendKind::Banked) {
@@ -113,6 +123,17 @@ Machine::Machine(const MachineConfig &config)
                 _config.consistency.storeBufferEntries,
                 _sbStats.get()));
         }
+    }
+
+    // Transactional memory: one manager over the per-CPU routing
+    // tables. Never built under --tm=off — the default machine is
+    // bit-identical to one predating the axis.
+    if (_config.tm.mode != TmMode::Off) {
+        _tmStats = std::make_unique<TmStats>(&_root);
+        _tm = makeTmManager(_config.tm, _cacheByCpu,
+                            _localIndexByCpu, _cacheIndexByCpu,
+                            (int)_config.scc.lineBytes,
+                            _tmStats.get());
     }
 
     if (_config.checkCoherence || check::envCheckRequested())
@@ -225,6 +246,23 @@ Machine::enableObs()
             return total;
         });
     }
+    // Transactional-memory series, only under --tm={eager,lazy}:
+    // default machines gain no columns (same discipline as above).
+    if (_tm) {
+        r->addCounter("tmCommits", [this] {
+            return (std::uint64_t)_tmStats->commits.value();
+        });
+        r->addCounter("tmAborts", [this] {
+            return (std::uint64_t)_tmStats->aborts.value();
+        });
+        r->addCounter("tmFallbacks", [this] {
+            return (std::uint64_t)_tmStats->fallbacks.value();
+        });
+        r->addCounter("tmSpeculativeStores", [this] {
+            return (std::uint64_t)
+                _tmStats->speculativeStores.value();
+        });
+    }
     r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
     r->addCounter("readMisses",
                   sumScc(&SharedClusterCache::readMisses));
@@ -281,6 +319,8 @@ Machine::enableChecker()
         scc->setObserver(_checker.get());
     for (auto &sb : _storeBuffers)
         sb->setObserver(_checker.get());
+    if (_tm)
+        _tm->setObserver(_checker.get());
     inform("coherence checker attached (walk interval ",
            options.walkInterval, ")");
 }
@@ -370,6 +410,20 @@ Machine::access(CpuId cpu, RefType type, Addr addr, Cycle now,
                 : now;
     int local = _localIndexByCpu[(std::size_t)cpu];
 
+    // Transactional memory: a processor with an open transaction
+    // routes every data reference to the manager (speculative
+    // sets, conflict probes, and the manager's own checker
+    // brackets); a non-transactional write probes the live sets
+    // first so any conflicting speculation is doomed before the
+    // committed write performs. Null under --tm=off — the default
+    // machine never takes this branch.
+    if (_tm) {
+        if (_tm->active(cpu))
+            return _tm->access(cpu, type, addr, start);
+        if (type == RefType::Write)
+            _tm->nonTxWrite(cpu, addr);
+    }
+
     // Weak ordering: stores retire into the processor's buffer and
     // drain lazily; loads try read bypass before touching the
     // cache. Due drains are let go only *after* the load completes:
@@ -416,6 +470,52 @@ Machine::fence(CpuId cpu, Cycle now)
     panic_if((std::size_t)cpu >= _storeBuffers.size(),
              "bad cpu id ", cpu);
     return _storeBuffers[(std::size_t)cpu]->fence(now);
+}
+
+TmPolicy
+Machine::tmPolicy() const
+{
+    if (!_tm)
+        return {};
+    TmPolicy policy;
+    policy.enabled = true;
+    policy.maxAborts = _config.tm.maxAborts;
+    policy.backoffBase = _config.tm.backoffBase;
+    return policy;
+}
+
+Cycle
+Machine::tmBegin(CpuId cpu, Cycle now)
+{
+    panic_if(!_tm, "tmBegin without --tm");
+    return _tm->begin(cpu, now);
+}
+
+bool
+Machine::tmPoll(CpuId cpu) const
+{
+    return _tm && _tm->doomed(cpu);
+}
+
+Cycle
+Machine::tmCommit(CpuId cpu, Cycle now, bool *committed)
+{
+    panic_if(!_tm, "tmCommit without --tm");
+    return _tm->commit(cpu, now, committed);
+}
+
+Cycle
+Machine::tmAbort(CpuId cpu, Cycle now)
+{
+    panic_if(!_tm, "tmAbort without --tm");
+    return _tm->abort(cpu, now);
+}
+
+void
+Machine::tmFallback(CpuId cpu)
+{
+    if (_tm)
+        _tm->fallbackTaken(cpu);
 }
 
 StoreBuffer *

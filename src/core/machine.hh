@@ -23,6 +23,8 @@
 #include "obs/recorder.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "tm/tm_manager.hh"
+#include "tm/tm_params.hh"
 
 namespace scmp
 {
@@ -76,6 +78,8 @@ struct MachineConfig
     DramParams dram;
     /** Memory consistency model (src/mem/store_buffer). */
     ConsistencyParams consistency;
+    /** Hardware transactional memory (src/tm). */
+    TmParams tm;
     ICacheParams icache;
     EngineOptions engine;
 
@@ -137,6 +141,21 @@ class Machine : public MemorySystem
      * No-op (returns @p now) under sequential consistency.
      */
     Cycle fence(CpuId cpu, Cycle now) override;
+
+    /// @name Hardware transactional memory (MemorySystem TM
+    /// surface; all no-ops / disabled under --tm=off).
+    /// @{
+    TmPolicy tmPolicy() const override;
+    Cycle tmBegin(CpuId cpu, Cycle now) override;
+    bool tmPoll(CpuId cpu) const override;
+    Cycle tmCommit(CpuId cpu, Cycle now, bool *committed) override;
+    Cycle tmAbort(CpuId cpu, Cycle now) override;
+    void tmFallback(CpuId cpu) override;
+    /** The manager, or null under --tm=off. */
+    TmManager *tmManager() { return _tm.get(); }
+    /** TM counters, or null under --tm=off. */
+    const TmStats *tmStats() const { return _tmStats.get(); }
+    /// @}
 
     /// @name Topology accessors.
     /// @{
@@ -220,6 +239,15 @@ class Machine : public MemorySystem
     std::unique_ptr<StoreBufferStats> _sbStats;
     std::vector<std::unique_ptr<StoreBuffer>> _storeBuffers;
     bool _weak = false;
+
+    /**
+     * Transactional memory only: the conflict manager and its
+     * counters. Both stay null under --tm=off (the default), same
+     * discipline as the store buffers — no state, no stats group,
+     * one predictable branch per reference.
+     */
+    std::unique_ptr<TmStats> _tmStats;
+    std::unique_ptr<TmManager> _tm;
 
     /// @name Per-processor routing tables, built once in the
     /// constructor so the reference hot path is three array loads —

@@ -53,6 +53,15 @@ runParallel(const MachineConfig &config, ParallelWorkload &workload,
     if (result.dramFills)
         result.dramRowHitRate =
             weightedHitRate / (double)result.dramFills;
+    if (const TmStats *tm = machine.tmStats()) {
+        result.tmCommits = (std::uint64_t)tm->commits.value();
+        result.tmAborts = (std::uint64_t)tm->aborts.value();
+        result.tmFallbacks = (std::uint64_t)tm->fallbacks.value();
+        std::uint64_t attempts = result.tmCommits + result.tmAborts;
+        if (attempts)
+            result.tmAbortRate =
+                (double)result.tmAborts / (double)attempts;
+    }
     if (machine.recorder())
         result.obsSeries = machine.recorder()->seriesJson();
     if (statsDump)

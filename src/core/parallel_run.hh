@@ -52,6 +52,17 @@ struct RunResult
     double throughput = 0;   //!< requests per kilocycle
 
     /**
+     * Transactional-memory metrics (src/tm), harvested from the
+     * machine's TmStats. Zero under --tm=off (no manager exists)
+     * and serialized only when a transaction actually ran, so
+     * stored default records stay byte-identical.
+     */
+    std::uint64_t tmCommits = 0;
+    std::uint64_t tmAborts = 0;
+    std::uint64_t tmFallbacks = 0;
+    double tmAbortRate = 0;  //!< aborts / (commits + aborts)
+
+    /**
      * Interval-metrics series as columnar JSON, captured when the
      * run's recorder has captureSeries set; empty otherwise. Not
      * part of the simulated result — carries observability output

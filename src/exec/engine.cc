@@ -1,12 +1,29 @@
 #include "engine.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/recorder.hh"
 #include "sim/debug.hh"
 
 namespace scmp
 {
+
+namespace
+{
+
+/**
+ * Thrown by the engine when a doomed transaction is detected and
+ * caught by Engine::transaction's retry loop on the same fiber
+ * stack — the unwind IS the rollback to the tm_begin checkpoint:
+ * the body's locals die with the stack frames, the deferred host
+ * writes are discarded, and the loop re-runs the body.
+ */
+struct TmAbortUnwind
+{
+};
+
+} // namespace
 
 Engine::Engine(MemorySystem *mem, Arena *arena, EngineOptions options)
     : _mem(mem), _arena(arena), _options(options)
@@ -326,6 +343,12 @@ Engine::memRef(Thread &t, RefType type, Addr addr)
     } else {
         maybeYield(t);
     }
+
+    // Poll after the yield so a doom inflicted while this thread
+    // was descheduled (a peer's conflict resolution or commit
+    // publication) unwinds at the very next reference.
+    if (t.tx.inTxn && _mem->tmPoll(t.cpu))
+        throw TmAbortUnwind{};
 }
 
 void
@@ -368,6 +391,7 @@ Engine::memFence(Thread &t)
 void
 Engine::acquire(Thread &t, SimLock &lock)
 {
+    panic_if(t.tx.inTxn, "lock() inside a transaction");
     memFence(t);
     // Model the test of the lock word.
     memRef(t, RefType::Read, lock._addr);
@@ -393,6 +417,7 @@ Engine::acquire(Thread &t, SimLock &lock)
 void
 Engine::release(Thread &t, SimLock &lock)
 {
+    panic_if(t.tx.inTxn, "unlock() inside a transaction");
     panic_if(lock._holder != t.tid,
              "thread ", t.tid, " releasing a lock it does not hold");
     memFence(t);
@@ -414,6 +439,7 @@ Engine::release(Thread &t, SimLock &lock)
 void
 Engine::barrier(Thread &t, SimBarrier &bar)
 {
+    panic_if(t.tx.inTxn, "barrier() inside a transaction");
     memFence(t);
     // Arrival updates the barrier counter (read + write traffic),
     // and the arrival store is itself strongly ordered.
@@ -445,6 +471,119 @@ Engine::barrier(Thread &t, SimBarrier &bar)
     bar._latestArrival = 0;
     t.time = std::max(t.time, releaseTime);
     maybeYield(t);
+}
+
+void
+Engine::transaction(Thread &t, ThreadCtx &ctx, SimLock &fallback,
+                    const std::function<void(ThreadCtx &)> &body)
+{
+    panic_if(t.tx.inTxn, "nested transactions are not supported");
+    TmPolicy policy = _mem->tmPolicy();
+    if (!policy.enabled) {
+        // No HTM: an ordinary critical section — and the measured
+        // lock-based baseline for the TM figures.
+        acquire(t, fallback);
+        body(ctx);
+        release(t, fallback);
+        return;
+    }
+
+    int attempts = 0;
+    for (;;) {
+        flushWork(t);
+        t.time = _mem->tmBegin(t.cpu, t.time);
+        t.tx.inTxn = true;
+        t.tx.log.clear();
+        bool committed = false;
+        try {
+            // Subscribe to the fallback lock (the TSX idiom): the
+            // read enters this transaction's read set, so a
+            // fallback acquirer's non-transactional writes to the
+            // lock word doom every speculating peer — mutual
+            // exclusion between the lock path and every
+            // transaction, with no extra machinery.
+            memRef(t, RefType::Read, fallback._addr);
+            if (fallback._holder >= 0)
+                throw TmAbortUnwind{};
+            body(ctx);
+            flushWork(t);
+            t.time = _mem->tmCommit(t.cpu, t.time, &committed);
+        } catch (const TmAbortUnwind &) {
+            committed = false;
+        }
+        if (committed) {
+            t.tx.inTxn = false;
+            applyTxLog(t);
+            return;
+        }
+        t.tx.inTxn = false;
+        t.tx.log.clear();
+        t.time = _mem->tmAbort(t.cpu, t.time);
+        ++attempts;
+        if (attempts >= policy.maxAborts) {
+            // Forward-progress guarantee: give up speculating and
+            // run under the global lock, whose writes doom every
+            // concurrent transaction (see the subscription above).
+            _mem->tmFallback(t.cpu);
+            acquire(t, fallback);
+            body(ctx);
+            release(t, fallback);
+            return;
+        }
+        // Deterministic exponential backoff, salted by thread id
+        // so colliding retries spread out instead of re-colliding.
+        Cycle backoff = policy.backoffBase
+                        << std::min(attempts - 1, 10);
+        backoff += (Cycle)((std::uint64_t)(t.tid + 1) * 2654435761u %
+                           (std::uint64_t)(policy.backoffBase + 1));
+        idleThread(t, t.time + backoff);
+    }
+}
+
+void
+Engine::applyTxLog(Thread &t)
+{
+    for (const TxWrite &w : t.tx.log)
+        std::memcpy(w.host, w.bytes, w.size);
+    t.tx.log.clear();
+}
+
+bool
+Engine::txnForward(Thread &t, const void *host, void *out,
+                   std::size_t size)
+{
+    if (!t.tx.inTxn)
+        return false;
+    // Youngest-first, like store-buffer read bypass.
+    for (auto it = t.tx.log.rbegin(); it != t.tx.log.rend(); ++it) {
+        if (it->host == host && it->size == size) {
+            std::memcpy(out, it->bytes, size);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Engine::txnStore(Thread &t, void *host, const void *src,
+                 std::size_t size)
+{
+    if (!t.tx.inTxn)
+        return false;
+    panic_if(size > sizeof(TxWrite::bytes),
+             "transactional store wider than a word");
+    for (TxWrite &w : t.tx.log) {
+        if (w.host == host && w.size == size) {
+            std::memcpy(w.bytes, src, size);
+            return true;
+        }
+    }
+    TxWrite w;
+    w.host = host;
+    w.size = (unsigned)size;
+    std::memcpy(w.bytes, src, size);
+    t.tx.log.push_back(w);
+    return true;
 }
 
 void
@@ -488,6 +627,34 @@ void
 ThreadCtx::barrier(SimBarrier &b)
 {
     _engine.barrier(*(Engine::Thread *)_thread, b);
+}
+
+void
+ThreadCtx::transaction(SimLock &fallback,
+                       const std::function<void(ThreadCtx &)> &body)
+{
+    _engine.transaction(*(Engine::Thread *)_thread, *this, fallback,
+                        body);
+}
+
+bool
+ThreadCtx::inTxn() const
+{
+    return ((const Engine::Thread *)_thread)->tx.inTxn;
+}
+
+bool
+ThreadCtx::txnForward(const void *host, void *out, std::size_t size)
+{
+    return _engine.txnForward(*(Engine::Thread *)_thread, host, out,
+                              size);
+}
+
+bool
+ThreadCtx::txnStore(void *host, const void *src, std::size_t size)
+{
+    return _engine.txnStore(*(Engine::Thread *)_thread, host, src,
+                            size);
 }
 
 Cycle

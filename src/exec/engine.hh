@@ -39,6 +39,22 @@ class Engine;
 class ThreadCtx;
 
 /**
+ * The transactional-execution policy a memory system advertises.
+ * Kept as a plain struct here because the engine sits below src/tm
+ * in the dependency order: the machine translates its TmParams into
+ * this, and a memory system without HTM returns the disabled
+ * default.
+ */
+struct TmPolicy
+{
+    bool enabled = false;
+    /** Aborts tolerated before falling back to the global lock. */
+    int maxAborts = 8;
+    /** Base of the exponential retry backoff, in cycles. */
+    Cycle backoffBase = 32;
+};
+
+/**
  * The timing model the engine drives. Implementations: the full
  * cluster/SCC machine model (scmp_core) and simple test doubles.
  */
@@ -76,6 +92,57 @@ class MemorySystem
         (void)cpu;
         return now;
     }
+
+    /// @name Hardware transactional memory (no-ops without --tm).
+    /// While a transaction is open on a cpu, every access() the
+    /// engine issues for it is transactional; the engine polls
+    /// tmPoll() after each one and unwinds the fiber to the
+    /// tm_begin point when the transaction has been doomed.
+    /// @{
+
+    /** What the machine supports; disabled by default. */
+    virtual TmPolicy tmPolicy() const { return {}; }
+
+    /** Open a transaction on @p cpu. */
+    virtual Cycle
+    tmBegin(CpuId cpu, Cycle now)
+    {
+        (void)cpu;
+        return now;
+    }
+
+    /** True when @p cpu's open transaction is doomed. */
+    virtual bool
+    tmPoll(CpuId cpu) const
+    {
+        (void)cpu;
+        return false;
+    }
+
+    /**
+     * Try to commit @p cpu's transaction. On failure (@p committed
+     * false) the transaction stays open and the engine aborts it
+     * through tmAbort() — one uniform failure path.
+     */
+    virtual Cycle
+    tmCommit(CpuId cpu, Cycle now, bool *committed)
+    {
+        (void)cpu;
+        *committed = true;
+        return now;
+    }
+
+    /** Abort @p cpu's open transaction. */
+    virtual Cycle
+    tmAbort(CpuId cpu, Cycle now)
+    {
+        (void)cpu;
+        return now;
+    }
+
+    /** Stats hook: @p cpu gave up and took the fallback lock. */
+    virtual void tmFallback(CpuId cpu) { (void)cpu; }
+    /// @}
 };
 
 /**
@@ -244,6 +311,26 @@ class Engine
 
     enum class State { Ready, Blocked, Done };
 
+    /**
+     * One deferred transactional host write. Speculative values
+     * live here — never in host memory — until commit, so an abort
+     * discards them by clearing the log and other threads reading
+     * host memory always see committed state (isolation).
+     */
+    struct TxWrite
+    {
+        void *host;
+        unsigned size;
+        unsigned char bytes[8];
+    };
+
+    /** A thread's speculative context (see ThreadCtx::transaction). */
+    struct TxState
+    {
+        bool inTxn = false;
+        std::vector<TxWrite> log;
+    };
+
     struct Thread
     {
         ThreadId tid;
@@ -251,6 +338,7 @@ class Engine
         Cycle time = 0;
         State state = State::Ready;
         std::uint64_t pendingWork = 0;
+        TxState tx;
         ThreadStats stats;
         std::function<void(ThreadCtx &)> fn;
         std::unique_ptr<Fiber> fiber;
@@ -265,7 +353,16 @@ class Engine
     void release(Thread &t, SimLock &lock);
     void barrier(Thread &t, SimBarrier &bar);
     void yieldThread(Thread &t);
+    void transaction(Thread &t, ThreadCtx &ctx, SimLock &fallback,
+                     const std::function<void(ThreadCtx &)> &body);
+    bool txnForward(Thread &t, const void *host, void *out,
+                    std::size_t size);
+    bool txnStore(Thread &t, void *host, const void *src,
+                  std::size_t size);
     /// @}
+
+    /** Make the speculative log's values architectural (commit). */
+    void applyTxLog(Thread &t);
 
     /** Charge accumulated compute instructions to the clock. */
     void flushWork(Thread &t);
@@ -407,6 +504,34 @@ class ThreadCtx
     /** ANL BARRIER. */
     void barrier(SimBarrier &b);
 
+    /**
+     * Execute @p body atomically: as a hardware transaction when
+     * the memory system advertises one (--tm={eager,lazy}), with
+     * exponential-backoff retry on abort and a fallback to
+     * @p fallback after maxAborts attempts; as a plain
+     * lock/body/unlock critical section otherwise — which makes
+     * the --tm=off run the lock-based baseline the TM figures
+     * measure speedup against, through this same call site.
+     *
+     * Contract: shared data inside @p body goes through
+     * Shared::ldTx / Shared::stTx (speculative host values are
+     * deferred so aborts roll them back); the body must not
+     * synchronize (lock/barrier) and may re-execute after aborts.
+     */
+    void transaction(SimLock &fallback,
+                     const std::function<void(ThreadCtx &)> &body);
+
+    /** True while executing inside an open hardware transaction. */
+    bool inTxn() const;
+
+    /// @name Transactional data plumbing used by Shared<T>.
+    /// @{
+    /** Forward @p size bytes from this txn's write log, if hit. */
+    bool txnForward(const void *host, void *out, std::size_t size);
+    /** Defer a host write into the log; false when not in a txn. */
+    bool txnStore(void *host, const void *src, std::size_t size);
+    /// @}
+
     /** This thread's simulated clock, including uncharged work. */
     Cycle now() const;
 
@@ -465,6 +590,37 @@ class Shared
         v = fn(v);
         st(ctx, v);
         return v;
+    }
+
+    /**
+     * Transactional load: inside a transaction, forwards this
+     * txn's own deferred value when one exists (no simulated
+     * traffic — the word is write-set protected), else performs a
+     * transactional read of the committed value. Outside a
+     * transaction it is exactly ld().
+     */
+    T
+    ldTx(ThreadCtx &ctx) const
+    {
+        T v{};
+        if (ctx.txnForward(&_value, &v, sizeof(T)))
+            return v;
+        ctx.load(&_value);
+        return _value;
+    }
+
+    /**
+     * Transactional store: inside a transaction the host value is
+     * deferred into the txn's write log (applied at commit,
+     * discarded on abort) while the simulated store grows the
+     * speculative write set. Outside a transaction it is st().
+     */
+    void
+    stTx(ThreadCtx &ctx, const T &v)
+    {
+        if (!ctx.txnStore(&_value, &v, sizeof(T)))
+            _value = v;
+        ctx.store(&_value);
     }
 
     /** Host-side access for setup/verification (not simulated). */

@@ -123,6 +123,53 @@ class CoherenceObserver
         (void)cpu;
     }
     /// @}
+
+    /// @name Transactional-memory events (--tm={eager,lazy} only).
+    ///
+    /// The manager publishes speculative writes as ordinary
+    /// bracketed cache accesses at commit; these hooks tell the
+    /// oracle which accesses belong to a transaction so it can
+    /// enforce atomicity (every speculative word published at
+    /// commit, none before, none after an abort) and isolation
+    /// (the read set still matches golden memory when the commit
+    /// publishes). Default no-ops so unchecked runs pay nothing.
+    /// @{
+    /** @p cpu opened a transaction. */
+    virtual void
+    onTmBegin(CpuId cpu)
+    {
+        (void)cpu;
+    }
+
+    /** @p cpu speculatively wrote @p wordAddr (no memory change). */
+    virtual void
+    onTmStore(CpuId cpu, Addr wordAddr)
+    {
+        (void)cpu;
+        (void)wordAddr;
+    }
+
+    /** @p cpu's commit begins; publication writes follow. */
+    virtual void
+    onTmCommitStart(CpuId cpu)
+    {
+        (void)cpu;
+    }
+
+    /** @p cpu's commit finished publishing its write set. */
+    virtual void
+    onTmCommitEnd(CpuId cpu)
+    {
+        (void)cpu;
+    }
+
+    /** @p cpu's transaction aborted — nothing may have published. */
+    virtual void
+    onTmAbort(CpuId cpu)
+    {
+        (void)cpu;
+    }
+    /// @}
 };
 
 } // namespace scmp

@@ -96,6 +96,21 @@ hashMachineConfig(const MachineConfig &config)
         h.mix((std::uint64_t)consistency.storeBufferEntries);
     }
 
+    // And for transactional memory: --tm=off leaves TmParams inert
+    // (no manager is even built), so the axis is hashed only when a
+    // conflict manager is selected — every key captured before
+    // src/tm existed keeps resolving.
+    const TmParams &tm = config.tm;
+    if (tm.mode != TmMode::Off) {
+        h.mix((std::uint64_t)tm.mode);
+        h.mix((std::uint64_t)tm.setEntries);
+        h.mix((std::uint64_t)tm.maxAborts);
+        h.mix((std::uint64_t)tm.backoffBase);
+        h.mix(tm.beginCost);
+        h.mix(tm.commitCost);
+        h.mix(tm.abortCost);
+    }
+
     const ICacheParams &icache = config.icache;
     h.mix((std::uint64_t)icache.enabled);
     h.mix(icache.sizeBytes);

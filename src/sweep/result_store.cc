@@ -49,6 +49,10 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"memSched\":" + jsonQuote(point.memSched);
     if (!point.consistency.empty())
         out += ",\"consistency\":" + jsonQuote(point.consistency);
+    if (!point.tm.empty())
+        out += ",\"tm\":" + jsonQuote(point.tm);
+    if (point.tmEntries)
+        out += ",\"tmEntries\":" + std::to_string(point.tmEntries);
     if (!point.model.empty())
         out += ",\"model\":" + jsonQuote(point.model);
     if (point.jobs)
@@ -73,6 +77,14 @@ ResultStore::serialize(const StoredPoint &point)
     if (r.dramFills) {
         out += ",\"dramFills\":" + std::to_string(r.dramFills);
         out += ",\"dramRowHitRate\":" + jsonNumber(r.dramRowHitRate);
+    }
+    // TM metrics: only a run that opened a transaction counts
+    // commits or aborts, so every other record stays byte-identical.
+    if (r.tmCommits || r.tmAborts) {
+        out += ",\"tmCommits\":" + std::to_string(r.tmCommits);
+        out += ",\"tmAborts\":" + std::to_string(r.tmAborts);
+        out += ",\"tmFallbacks\":" + std::to_string(r.tmFallbacks);
+        out += ",\"tmAbortRate\":" + jsonNumber(r.tmAbortRate);
     }
     // Server-scenario latency metrics: only the server workload
     // counts requests, so every other record stays byte-identical.
@@ -165,6 +177,10 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
 
     const Json *consistency = doc.find("consistency");
     point.consistency = consistency ? consistency->asString() : "";
+    const Json *tm = doc.find("tm");
+    point.tm = tm ? tm->asString() : "";
+    const Json *tmEntries = doc.find("tmEntries");
+    point.tmEntries = tmEntries ? (int)tmEntries->asU64() : 0;
     const Json *model = doc.find("model");
     point.model = model ? model->asString() : "";
     const Json *jobs = doc.find("jobs");
@@ -214,6 +230,15 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     const Json *dramRowHitRate = result->find("dramRowHitRate");
     r.dramRowHitRate =
         dramRowHitRate ? dramRowHitRate->asDouble() : 0.0;
+    // Optional TM fields (absent on non-transactional records).
+    const Json *tmCommits = result->find("tmCommits");
+    r.tmCommits = tmCommits ? tmCommits->asU64() : 0;
+    const Json *tmAborts = result->find("tmAborts");
+    r.tmAborts = tmAborts ? tmAborts->asU64() : 0;
+    const Json *tmFallbacks = result->find("tmFallbacks");
+    r.tmFallbacks = tmFallbacks ? tmFallbacks->asU64() : 0;
+    const Json *tmAbortRate = result->find("tmAbortRate");
+    r.tmAbortRate = tmAbortRate ? tmAbortRate->asDouble() : 0.0;
     // Optional server-scenario fields.
     const Json *requests = result->find("requests");
     r.requests = requests ? requests->asU64() : 0;

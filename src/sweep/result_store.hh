@@ -53,6 +53,9 @@ struct StoredPoint
     std::string memSched;
     /** Consistency model name for src/mem/store_buffer sweeps. */
     std::string consistency;
+    /** TM conflict manager name for src/tm sweeps. */
+    std::string tm;
+    int tmEntries = 0;
     /**
      * Evaluation model that produced the record ("analytic" for
      * screened points; empty = cycle-accurate, the historical

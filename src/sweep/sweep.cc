@@ -755,4 +755,123 @@ DesignSpace::consistencySweep(
     return points;
 }
 
+std::vector<TmPoint>
+DesignSpace::tmSweep(const WorkloadFactory &factory,
+                     MachineConfig base,
+                     const std::vector<TmMode> &modes,
+                     const std::vector<NetTopology> &topologies,
+                     const std::vector<int> &setSizes, bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+
+    const std::string workloadName = factory()->name();
+
+    sweep::ResultStore store;
+    if (!options.resultsPath.empty())
+        store.open(options.resultsPath, options.resume);
+
+    std::vector<TmPoint> points;
+    points.reserve(modes.size() * topologies.size() *
+                   setSizes.size());
+    for (TmMode mode : modes) {
+        for (NetTopology topology : topologies) {
+            for (std::size_t s = 0; s < setSizes.size(); ++s) {
+                // Set size is a conflict-manager knob; --tm=off
+                // would evaluate the same lock baseline once per
+                // size, so take only the first for it.
+                if (mode == TmMode::Off && s > 0)
+                    break;
+                int entries = setSizes[s];
+
+                MachineConfig config = base;
+                config.tm.mode = mode;
+                config.tm.setEntries = entries;
+                config.net.topology = topology;
+                std::uint64_t key = sweep::pointKey(
+                    config, workloadName, options.scale);
+
+                TmPoint point;
+                point.mode = mode;
+                point.topology = topology;
+                point.setEntries = entries;
+
+                const sweep::StoredPoint *stored =
+                    options.resume && store.isOpen()
+                        ? store.find(key)
+                        : nullptr;
+                if (stored) {
+                    fatal_if(
+                        stored->workload != workloadName ||
+                            stored->net !=
+                                netTopologyName(topology) ||
+                            (mode != TmMode::Off &&
+                             (stored->tm != tmModeName(mode) ||
+                              stored->tmEntries != entries)),
+                        "results file '", options.resultsPath,
+                        "' record ", sweep::keyHex(key),
+                        " does not match its key's configuration ",
+                        "(key collision or corrupt store)");
+                    point.result = stored->result;
+                    points.push_back(std::move(point));
+                    continue;
+                }
+
+                if (options.obs.enabled) {
+                    obs::RecorderConfig obsConfig = options.obs;
+                    if (!obsConfig.tracePath.empty())
+                        obsConfig.tracePath = sweep::pointedPath(
+                            obsConfig.tracePath, key);
+                    if (!obsConfig.seriesPath.empty())
+                        obsConfig.seriesPath = sweep::pointedPath(
+                            obsConfig.seriesPath, key);
+                    config.obs = obsConfig;
+                }
+
+                auto workload = factory();
+                workload->reseed(key);
+                std::ostringstream statsJson;
+                auto pointStart = sweep::Clock::now();
+                point.result = runParallel(
+                    config, *workload, nullptr, nullptr,
+                    options.attachStats ? &statsJson : nullptr);
+                double wallMs = sweep::msSince(pointStart);
+
+                if (store.isOpen()) {
+                    sweep::StoredPoint record;
+                    record.key = key;
+                    record.workload = workloadName;
+                    record.scale = options.scale;
+                    record.cpusPerCluster = config.cpusPerCluster;
+                    record.sccBytes = config.scc.sizeBytes;
+                    record.net = netTopologyName(topology);
+                    record.tm = tmModeName(mode);
+                    if (mode != TmMode::Off)
+                        record.tmEntries = entries;
+                    record.result = point.result;
+                    record.wallMs = wallMs;
+                    record.statsJson = statsJson.str();
+                    record.series = point.result.obsSeries;
+                    store.append(record);
+                }
+                if (options.verbose) {
+                    inform("tm sweep: ", workloadName, " ",
+                           tmModeName(mode), " ",
+                           netTopologyName(topology),
+                           mode == TmMode::Off
+                               ? std::string()
+                               : "/" + std::to_string(entries) +
+                                     " entries",
+                           " -> ", point.result.cycles,
+                           " cycles, abortRate=",
+                           point.result.tmAbortRate, " (", wallMs,
+                           " ms)");
+                }
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
 } // namespace scmp

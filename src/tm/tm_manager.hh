@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Hardware transactional memory riding the coherence stack.
+ *
+ * Two conflict-resolution managers stand behind one `TmManager`
+ * interface:
+ *
+ *  - **Eager** (LogTM-style): every transactional reference probes
+ *    the other processors' read/write sets before it touches the
+ *    cache — the software analogue of detecting the conflict on the
+ *    snoop that the reference would have broadcast. Resolution is
+ *    requester-aborts with a timestamp tiebreak: if any conflicting
+ *    transaction is older, the requester aborts itself; otherwise
+ *    every younger conflictor is doomed. (LogTM's requester-stalls
+ *    half degenerates to abort-and-backoff here: a single-threaded
+ *    simulator cannot profitably spin a fiber against a peer that
+ *    only makes progress when it yields.) Transactional stores
+ *    fetch their line at store time — a read-for-ownership
+ *    prefetch, the eager timing signature — so commit publication
+ *    mostly hits.
+ *
+ *  - **Lazy** (TSX-style): no probes at access time. Transactional
+ *    stores retire into the speculative set in one cycle, exactly
+ *    like a store-buffer retirement; reads go to the cache as
+ *    usual. All validation happens at commit, where the published
+ *    lines doom every overlapping active transaction (committer
+ *    wins).
+ *
+ * Version management is unified: neither manager writes the cache
+ * speculatively. The write set is a list of speculatively written
+ * words, and commit publishes them as a back-to-back stream of
+ * ordinary write accesses through the owner's SCC port — reusing
+ * the same streaming discipline the store buffer uses for a fence
+ * flush, and generating real invalidate/update traffic at commit
+ * time. That keeps the golden oracle exact: committed memory state
+ * never contains a value a transaction later unwinds, so the
+ * checker can demand all-at-once visibility (see
+ * CoherenceChecker's onTm* hooks). Non-transactional writes doom
+ * any transaction holding the line in either set — the non-
+ * speculative access always wins, which is what makes the TSX-style
+ * fallback-lock subscription in the engine work with no extra
+ * machinery.
+ *
+ * Capacity: the sets are exact line-address vectors bounded by
+ * TmParams::setEntries; overflow is a capacity abort. Aborts are
+ * polled — conflict resolution marks the victim doomed, and the
+ * victim discovers it at its next transactional reference or at
+ * commit, unwinding through the fiber engine (Engine::transaction).
+ */
+
+#ifndef SCMP_TM_TM_MANAGER_HH
+#define SCMP_TM_TM_MANAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "tm/tm_params.hh"
+
+namespace scmp
+{
+
+class CoherenceObserver;
+class SharedClusterCache;
+
+/** Machine-wide transactional-memory statistics. */
+struct TmStats
+{
+    explicit TmStats(stats::Group *parent);
+
+    stats::Group group;
+    stats::Scalar begins;           //!< transactions started
+    stats::Scalar commits;          //!< transactions committed
+    stats::Scalar aborts;           //!< transactions aborted
+    stats::Scalar conflictAborts;   //!< aborts caused by conflicts
+    stats::Scalar capacityAborts;   //!< aborts from set overflow
+    stats::Scalar fallbacks;        //!< retries that took the lock
+    stats::Scalar speculativeStores; //!< words written speculatively
+    stats::Scalar publishedWords;   //!< words written back at commit
+};
+
+/**
+ * Per-CPU transactional state plus conflict resolution. One
+ * manager per machine (never constructed under --tm=off); the
+ * concrete subclass fixes the access-time policy, everything else
+ * — begin, commit publication, abort, non-transactional snooping —
+ * is shared.
+ */
+class TmManager
+{
+  public:
+    /**
+     * @param params    The --tm axis selection (mode != Off).
+     * @param cacheByCpu   Routing: each CPU's cluster cache.
+     * @param localByCpu   Routing: port index on that cache.
+     * @param cacheIdxByCpu Routing: cache bus index (observer id).
+     * @param lineBytes Line size (set granularity).
+     * @param stats     Machine-wide counters (never null).
+     */
+    TmManager(const TmParams &params,
+              std::vector<SharedClusterCache *> cacheByCpu,
+              std::vector<int> localByCpu,
+              std::vector<int> cacheIdxByCpu,
+              int lineBytes, TmStats *stats);
+    virtual ~TmManager();
+
+    /** Attach the correctness observer (null detaches). */
+    void setObserver(CoherenceObserver *observer)
+    {
+        _observer = observer;
+    }
+
+    /** True while @p cpu is inside a transaction (even doomed). */
+    bool active(CpuId cpu) const { return _tx[cpu].active; }
+
+    /** True when @p cpu's transaction is doomed and must abort. */
+    bool doomed(CpuId cpu) const
+    {
+        return _tx[cpu].active && _tx[cpu].doomed;
+    }
+
+    /** Start a transaction on @p cpu. Nesting is not supported. */
+    Cycle begin(CpuId cpu, Cycle now);
+
+    /**
+     * One transactional data reference. Detects conflicts per the
+     * manager's policy, grows the speculative sets, and performs
+     * the cache access the policy calls for. A reference that
+     * dooms its own transaction (capacity, lost tiebreak) returns
+     * immediately; the caller polls doomed() and aborts.
+     */
+    virtual Cycle access(CpuId cpu, RefType type, Addr addr,
+                         Cycle now) = 0;
+
+    /**
+     * Try to commit. A doomed transaction fails (@p committed
+     * false) and is left active for the uniform abort path;
+     * otherwise the write set is published all-at-once — the doom
+     * sweep and the publication stream happen within this one call,
+     * so no other processor's reference can interleave mid-commit.
+     */
+    Cycle commit(CpuId cpu, Cycle now, bool *committed);
+
+    /** Abort @p cpu's transaction: discard sets, charge the cost. */
+    Cycle abort(CpuId cpu, Cycle now);
+
+    /** Record that @p cpu gave up speculating and took the lock. */
+    void fallbackTaken(CpuId cpu);
+
+    /**
+     * Snoop a non-transactional write against every live set; any
+     * transaction holding the line is doomed (the committed access
+     * always wins — it serializes before the speculation).
+     */
+    void nonTxWrite(CpuId cpu, Addr addr);
+
+    const TmParams &params() const { return _params; }
+
+  protected:
+    /** One processor's speculative context. */
+    struct Tx
+    {
+        bool active = false;
+        bool doomed = false;
+        bool capacity = false;       //!< doomed by set overflow
+        std::uint64_t timestamp = 0; //!< begin order (older wins)
+        std::vector<Addr> readLines;
+        std::vector<Addr> writeLines;
+        std::vector<Addr> writeWords; //!< publication, word grain
+    };
+
+    Addr lineOf(Addr addr) const { return addr & ~_lineMask; }
+    static Addr wordOf(Addr addr) { return addr & ~Addr(7); }
+
+    static bool inSet(const std::vector<Addr> &set, Addr line);
+
+    /**
+     * Add @p line to @p set if absent. False when the set is at
+     * capacity — the caller dooms the transaction.
+     */
+    bool addLine(std::vector<Addr> &set, Addr line) const;
+
+    /** Record a speculatively written word (deduplicated). */
+    void addWord(Tx &tx, Addr word) const;
+
+    /**
+     * True if any *older* active transaction on another CPU
+     * conflicts with @p cpu touching @p line (write sets always
+     * conflict; read sets only against a write). Under the
+     * requester-aborts tiebreak the requester must then kill
+     * itself. Disabled by SCMP_TM_MUTATION (tm_mutation_death).
+     */
+    bool olderConflictor(CpuId cpu, Addr line, bool write) const;
+
+    /**
+     * Doom every *younger* conflicting transaction (requester
+     * wins the tiebreak). Disabled by SCMP_TM_MUTATION.
+     */
+    void doomYoungerConflictors(CpuId cpu, Addr line, bool write);
+
+    /**
+     * Commit-time sweep: doom every other active transaction that
+     * read or wrote a line this commit is about to publish
+     * (committer wins). Disabled by SCMP_TM_MUTATION.
+     */
+    void doomPublishedConflicts(CpuId cpu);
+
+    /** Mark @p victim's transaction doomed by a conflict. */
+    void doomTx(CpuId victim);
+
+    /** Doom @p cpu's own transaction (lost tiebreak / capacity). */
+    void selfDoom(CpuId cpu, bool capacity);
+
+    /**
+     * A cache access on @p cpu's port, bracketed for the checker
+     * when one is attached (the Machine's normal reference path is
+     * bypassed for transactional traffic, so the manager carries
+     * its own brackets).
+     */
+    Cycle checkedAccess(CpuId cpu, RefType type, Addr addr,
+                        Cycle now);
+
+    TmParams _params;
+    std::vector<SharedClusterCache *> _cacheByCpu;
+    std::vector<int> _localByCpu;
+    std::vector<int> _cacheIdxByCpu;
+    Addr _lineMask;
+    TmStats *_stats;
+    CoherenceObserver *_observer = nullptr;
+    std::vector<Tx> _tx;              //!< by CPU
+    std::uint64_t _timestampClock = 0;
+};
+
+/** Eager (LogTM-style) policy: conflicts at access time. */
+class EagerTmManager : public TmManager
+{
+  public:
+    using TmManager::TmManager;
+    Cycle access(CpuId cpu, RefType type, Addr addr,
+                 Cycle now) override;
+};
+
+/** Lazy (TSX-style) policy: conflicts at commit time. */
+class LazyTmManager : public TmManager
+{
+  public:
+    using TmManager::TmManager;
+    Cycle access(CpuId cpu, RefType type, Addr addr,
+                 Cycle now) override;
+};
+
+/** Build the manager @p params.mode names (never Off). */
+std::unique_ptr<TmManager> makeTmManager(
+    const TmParams &params,
+    std::vector<SharedClusterCache *> cacheByCpu,
+    std::vector<int> localByCpu,
+    std::vector<int> cacheIdxByCpu,
+    int lineBytes, TmStats *stats);
+
+} // namespace scmp
+
+#endif // SCMP_TM_TM_MANAGER_HH

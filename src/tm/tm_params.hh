@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Transactional-memory axis parameters — `--tm={off,eager,lazy}`.
+ *
+ * Off is the bit-identical default: a machine built with
+ * `TmParams{}` constructs no manager, routes no reference through
+ * transactional code, and hashes to exactly the point key it had
+ * before the axis existed (hashMachineConfig mixes TmParams only
+ * when the mode is non-default, the PR 6/7 pattern).
+ */
+
+#ifndef SCMP_TM_TM_PARAMS_HH
+#define SCMP_TM_TM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace scmp
+{
+
+/** Conflict-resolution discipline — one axis of the design space. */
+enum class TmMode : std::uint8_t
+{
+    /** No transactional memory (the default). */
+    Off,
+    /** LogTM-style: conflicts detected at access/snoop time. */
+    Eager,
+    /** TSX-style: write set validated and published at commit. */
+    Lazy,
+};
+
+/** HTM selection. Inert under Off (the point key skips it). */
+struct TmParams
+{
+    TmMode mode = TmMode::Off;
+
+    /**
+     * Read/write-set capacity per processor, in cache lines. The
+     * sets are exact (no Bloom false conflicts); a transaction
+     * whose footprint would exceed this aborts with a capacity
+     * abort and — after maxAborts attempts — falls back to the
+     * global lock, which guarantees forward progress at any size.
+     */
+    int setEntries = 64;
+
+    /** Aborts tolerated before a transaction takes the fallback. */
+    int maxAborts = 8;
+
+    /** Base of the exponential retry backoff, in cycles. */
+    Cycle backoffBase = 32;
+
+    /** Fixed cost of entering a transaction (checkpoint). */
+    Cycle beginCost = 4;
+
+    /** Fixed cost of a commit, before publication traffic. */
+    Cycle commitCost = 8;
+
+    /** Fixed cost of an abort (restore checkpoint, drop lines). */
+    Cycle abortCost = 16;
+};
+
+/// @name Names and parsers for the CLI/design-space axis.
+/// @{
+const char *tmModeName(TmMode mode);
+/** Parse "off" / "eager" / "lazy"; false on unknown names. */
+bool parseTmMode(const std::string &text, TmMode *out);
+/// @}
+
+} // namespace scmp
+
+#endif // SCMP_TM_TM_PARAMS_HH

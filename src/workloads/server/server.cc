@@ -20,6 +20,9 @@ ServerWorkload::ServerWorkload(ServerParams params)
              "server offered load must be positive");
     panic_if(_params.nominalService == 0,
              "server nominal service time must be non-zero");
+    panic_if(_params.arrival == ArrivalMode::Closed &&
+                 _params.thinkTime == 0,
+             "server closed-loop think time must be non-zero");
 }
 
 std::string
@@ -27,10 +30,19 @@ ServerWorkload::name() const
 {
     // The store key is config x name x scale, so everything that
     // changes the input stream must be in the name.
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "server-l%.2f-r%llu",
-                  _params.offeredLoad,
-                  (unsigned long long)_params.requests);
+    char buf[80];
+    if (_params.arrival == ArrivalMode::Closed) {
+        // Closed loop ignores offeredLoad; the think time is what
+        // shapes its stream.
+        std::snprintf(buf, sizeof(buf),
+                      "server-closed-t%llu-r%llu",
+                      (unsigned long long)_params.thinkTime,
+                      (unsigned long long)_params.requests);
+    } else {
+        std::snprintf(buf, sizeof(buf), "server-l%.2f-r%llu",
+                      _params.offeredLoad,
+                      (unsigned long long)_params.requests);
+    }
     return buf;
 }
 
@@ -159,19 +171,26 @@ ServerWorkload::threadMain(ThreadCtx &ctx, int tid,
     Shard &shard = _shards[tid];
     std::vector<Cycle> &latencies = _latencies[tid];
 
-    // Per-processor Poisson arrivals at rate offeredLoad /
-    // nominalService. Open loop: the next arrival is independent
-    // of when the previous request finished, so under overload the
-    // queue (and the measured latency) grows.
+    // Per-processor arrivals. Open loop: Poisson at rate
+    // offeredLoad / nominalService — the next arrival is
+    // independent of when the previous request finished, so under
+    // overload the queue (and the measured latency) grows. Closed
+    // loop: one client per processor that thinks for an
+    // exponential time AFTER its previous request completes, so
+    // in-flight work is bounded by the population and latency
+    // self-limits.
     Rng rng(_params.seed ^
             (0x9e3779b97f4a7c15ull * (std::uint64_t)(tid + 1)));
+    const bool closed = _params.arrival == ArrivalMode::Closed;
     double rate =
-        _params.offeredLoad / (double)_params.nominalService;
+        closed ? 1.0 / (double)_params.thinkTime
+               : _params.offeredLoad / (double)_params.nominalService;
     Cycle arrival = 0;
     for (std::uint64_t r = tid; r < _params.requests;
          r += (std::uint64_t)cpus) {
-        arrival += (Cycle)std::max<std::int64_t>(
+        Cycle gap = (Cycle)std::max<std::int64_t>(
             1, (std::int64_t)std::llround(rng.exponential(rate)));
+        arrival = closed ? ctx.now() + gap : arrival + gap;
         ctx.idleUntil(arrival);
 
         std::uint64_t pick = rng.range(100);

@@ -51,6 +51,23 @@ enum class RequestClass
     NumClasses,
 };
 
+/**
+ * How the request stream is generated.
+ *
+ * Open loop: arrivals are a Poisson process independent of
+ * completions, so queueing delay is measured and overload shows up
+ * as unbounded latency growth. Closed loop: a fixed client
+ * population of one per processor, each submitting its next
+ * request a think time after the previous one COMPLETES — latency
+ * self-limits (the classic interactive-user model), and throughput
+ * saturates instead of the queue.
+ */
+enum class ArrivalMode
+{
+    Open,
+    Closed,
+};
+
 /** The scenario's knobs. */
 struct ServerParams
 {
@@ -72,6 +89,20 @@ struct ServerParams
      * so curves are comparable across points.
      */
     Cycle nominalService = 300;
+
+    /**
+     * Arrival generation. Open is the default and keeps every
+     * pre-existing run byte-identical; the think-time draws exist
+     * only on the closed path.
+     */
+    ArrivalMode arrival = ArrivalMode::Open;
+
+    /**
+     * Closed loop only: mean think time in cycles between a
+     * request's completion and the same client's next submission
+     * (exponentially distributed). Ignored when open.
+     */
+    Cycle thinkTime = 400;
 
     std::uint64_t seed = 0xd1e5e15e11ull;
 };

@@ -1,0 +1,269 @@
+#include "tm_workloads.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace scmp::tmwork
+{
+
+// ---------------------------------------------------------------
+// TmKmeans
+// ---------------------------------------------------------------
+
+TmKmeansWorkload::TmKmeansWorkload(TmKmeansParams params)
+    : _params(params)
+{
+    panic_if(_params.points <= 0, "kmeans needs points");
+    panic_if(_params.clusters <= 0, "kmeans needs clusters");
+    panic_if(_params.rounds <= 0, "kmeans needs rounds");
+}
+
+std::string
+TmKmeansWorkload::name() const
+{
+    // Everything that changes the reference stream is in the name;
+    // the TM mode is machine configuration and lives in the config
+    // hash instead.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "tmkmeans-p%d-k%d-r%d",
+                  _params.points, _params.clusters, _params.rounds);
+    return buf;
+}
+
+void
+TmKmeansWorkload::setup(Arena &arena, const Topology &topo)
+{
+    Rng rng(_params.seed);
+
+    arena.alignTo(4096);
+    _px = arena.alloc<Shared<std::int32_t>>(_params.points);
+    _py = arena.alloc<Shared<std::int32_t>>(_params.points);
+    _cx = arena.alloc<Shared<std::int32_t>>(_params.clusters);
+    _cy = arena.alloc<Shared<std::int32_t>>(_params.clusters);
+    _sumX = arena.alloc<Shared<std::int64_t>>(_params.clusters);
+    _sumY = arena.alloc<Shared<std::int64_t>>(_params.clusters);
+    _cnt = arena.alloc<Shared<std::int32_t>>(_params.clusters);
+
+    for (int i = 0; i < _params.points; ++i) {
+        _px[i].raw() = (std::int32_t)rng.range(1024);
+        _py[i].raw() = (std::int32_t)rng.range(1024);
+    }
+    // Seed centroids from the first points (the classic Forgy
+    // start), accumulators from zero.
+    for (int k = 0; k < _params.clusters; ++k) {
+        _cx[k].raw() = _px[k % _params.points].raw();
+        _cy[k].raw() = _py[k % _params.points].raw();
+        _sumX[k].raw() = 0;
+        _sumY[k].raw() = 0;
+        _cnt[k].raw() = 0;
+    }
+
+    _fallback.emplace(arena);
+    _barrier.emplace(arena, topo.totalCpus());
+}
+
+void
+TmKmeansWorkload::threadMain(ThreadCtx &ctx, int tid,
+                             const Topology &topo)
+{
+    int cpus = topo.totalCpus();
+
+    for (int round = 0; round < _params.rounds; ++round) {
+        for (int i = tid; i < _params.points; i += cpus) {
+            // Assignment phase: point and centroid reads are
+            // non-transactional — centroids are frozen for the
+            // round, so only the accumulator update races.
+            std::int64_t x = _px[i].ld(ctx);
+            std::int64_t y = _py[i].ld(ctx);
+            int best = 0;
+            std::int64_t bestDist = -1;
+            for (int k = 0; k < _params.clusters; ++k) {
+                std::int64_t dx = x - _cx[k].ld(ctx);
+                std::int64_t dy = y - _cy[k].ld(ctx);
+                std::int64_t dist = dx * dx + dy * dy;
+                if (bestDist < 0 || dist < bestDist) {
+                    bestDist = dist;
+                    best = k;
+                }
+            }
+            ctx.work(4 * (std::uint64_t)_params.clusters);
+
+            // Update phase: a three-line read-modify-write txn on
+            // the chosen centroid's accumulator cell.
+            ctx.transaction(*_fallback, [&](ThreadCtx &tctx) {
+                _sumX[best].stTx(tctx,
+                                 _sumX[best].ldTx(tctx) + x);
+                _sumY[best].stTx(tctx,
+                                 _sumY[best].ldTx(tctx) + y);
+                _cnt[best].stTx(tctx,
+                                _cnt[best].ldTx(tctx) + 1);
+            });
+        }
+
+        ctx.barrier(*_barrier);
+        if (tid == 0 && round + 1 < _params.rounds) {
+            // Move each centroid to its members' mean and reset the
+            // accumulators for the next round. Single-threaded
+            // between barriers, so plain ld/st suffice.
+            for (int k = 0; k < _params.clusters; ++k) {
+                std::int32_t n = _cnt[k].ld(ctx);
+                if (n > 0) {
+                    _cx[k].st(ctx, (std::int32_t)(_sumX[k].ld(ctx)
+                                                  / n));
+                    _cy[k].st(ctx, (std::int32_t)(_sumY[k].ld(ctx)
+                                                  / n));
+                }
+                _sumX[k].st(ctx, 0);
+                _sumY[k].st(ctx, 0);
+                _cnt[k].st(ctx, 0);
+            }
+        }
+        ctx.barrier(*_barrier);
+    }
+}
+
+bool
+TmKmeansWorkload::verify()
+{
+    // Every point must be counted exactly once in the final round:
+    // a lost transactional update (or a double publication) breaks
+    // the balance.
+    std::int64_t counted = 0;
+    std::int64_t sumX = 0, sumY = 0;
+    std::int64_t pointX = 0, pointY = 0;
+    for (int k = 0; k < _params.clusters; ++k) {
+        counted += _cnt[k].raw();
+        sumX += _sumX[k].raw();
+        sumY += _sumY[k].raw();
+    }
+    for (int i = 0; i < _params.points; ++i) {
+        pointX += _px[i].raw();
+        pointY += _py[i].raw();
+    }
+    return counted == _params.points && sumX == pointX &&
+           sumY == pointY;
+}
+
+// ---------------------------------------------------------------
+// TmVacation
+// ---------------------------------------------------------------
+
+TmVacationWorkload::TmVacationWorkload(TmVacationParams params)
+    : _params(params)
+{
+    panic_if(_params.resources <= 0, "vacation needs resources");
+    panic_if(_params.capacity <= 0, "vacation needs capacity");
+    panic_if(_params.txnsPerThread <= 0, "vacation needs txns");
+    panic_if(_params.queryRange <= 0 ||
+                 _params.queryRange > _params.resources,
+             "vacation query range must be in [1, resources]");
+}
+
+std::string
+TmVacationWorkload::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "tmvacation-r%d-c%d-t%d-q%d",
+                  _params.resources, _params.capacity,
+                  _params.txnsPerThread, _params.queryRange);
+    return buf;
+}
+
+void
+TmVacationWorkload::setup(Arena &arena, const Topology &topo)
+{
+    arena.alignTo(4096);
+    _reserved = arena.alloc<Shared<std::uint32_t>>(
+        _params.resources * slotStride);
+    for (int r = 0; r < _params.resources; ++r)
+        _reserved[r * slotStride].raw() = 0;
+
+    _fallback.emplace(arena);
+    _bookedBy.assign(topo.totalCpus(), 0);
+}
+
+void
+TmVacationWorkload::threadMain(ThreadCtx &ctx, int tid,
+                               const Topology &topo)
+{
+    (void)topo;
+    Rng rng(_params.seed ^
+            (0x9e3779b97f4a7c15ull * (std::uint64_t)(tid + 1)));
+
+    std::vector<int> picks;
+    picks.reserve(_params.queryRange);
+    int hotSpan = std::max(1, _params.resources / 8);
+
+    for (int t = 0; t < _params.txnsPerThread; ++t) {
+        // Choose 1..queryRange distinct resources, biased toward a
+        // hot prefix so transactions actually collide.
+        int want = 1 + (int)rng.range((std::uint64_t)
+                                      _params.queryRange);
+        picks.clear();
+        while ((int)picks.size() < want) {
+            int r = rng.range(2) == 0
+                        ? (int)rng.range((std::uint64_t)hotSpan)
+                        : (int)rng.range((std::uint64_t)
+                                         _params.resources);
+            if (std::find(picks.begin(), picks.end(), r) ==
+                picks.end())
+                picks.push_back(r);
+        }
+
+        // Book all-or-nothing. The body may re-execute after an
+        // abort, so `feasible` is recomputed each attempt and only
+        // the final (committed or fallback) attempt's value is
+        // tallied after the transaction returns.
+        bool feasible = false;
+        ctx.transaction(*_fallback, [&](ThreadCtx &tctx) {
+            feasible = true;
+            for (int r : picks) {
+                if (_reserved[r * slotStride].ldTx(tctx) >=
+                    (std::uint32_t)_params.capacity) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (feasible) {
+                for (int r : picks) {
+                    Shared<std::uint32_t> &seat =
+                        _reserved[r * slotStride];
+                    seat.stTx(tctx, seat.ldTx(tctx) + 1);
+                }
+            }
+        });
+        if (feasible)
+            _bookedBy[tid] += (std::uint64_t)picks.size();
+        ctx.work(8);
+    }
+}
+
+std::uint64_t
+TmVacationWorkload::booked() const
+{
+    std::uint64_t total = 0;
+    for (int r = 0; r < _params.resources; ++r)
+        total += _reserved[r * slotStride].raw();
+    return total;
+}
+
+bool
+TmVacationWorkload::verify()
+{
+    // Seats the table says are taken must equal seats the threads
+    // believe they booked, and no resource may be oversubscribed.
+    std::uint64_t tallied = 0;
+    for (std::uint64_t b : _bookedBy)
+        tallied += b;
+    for (int r = 0; r < _params.resources; ++r) {
+        if (_reserved[r * slotStride].raw() >
+            (std::uint32_t)_params.capacity)
+            return false;
+    }
+    return booked() == tallied;
+}
+
+} // namespace scmp::tmwork

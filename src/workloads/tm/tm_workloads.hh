@@ -1,0 +1,146 @@
+/**
+ * @file
+ * STAMP-character transactional workloads (src/tm's test vehicles).
+ *
+ * The SPLASH codes synchronize with locks and barriers; these two
+ * workloads instead wrap their shared-state updates in
+ * ThreadCtx::transaction so one binary measures the same program
+ * under --tm=off (the lock baseline — transaction() degenerates to
+ * lock/body/unlock), --tm=eager and --tm=lazy. They are shaped
+ * after two STAMP applications:
+ *
+ *  - TmKmeans (STAMP kmeans): threads assign points to their
+ *    nearest centroid and transactionally accumulate into that
+ *    centroid's (sumX, sumY, count) cell. Contention concentrates
+ *    on few hot centroids; the three accumulator words live on
+ *    three distinct cache lines, so --tm-set-entries=2 forces
+ *    capacity aborts on EVERY update and the run only finishes
+ *    through the fallback lock — the forward-progress fixture.
+ *
+ *  - TmVacation (STAMP vacation): threads book 1..queryRange
+ *    distinct resources per transaction, reading each reservation
+ *    count and incrementing all of them when every resource has
+ *    room. Resources are padded one per cache line, so the
+ *    read/write footprint equals the booking size: small bookings
+ *    survive tiny TM sets while large ones capacity-abort, giving
+ *    a measured abort-rate gradient rather than a cliff.
+ *
+ * Both verify host-side that the committed totals balance: lost
+ * transactional updates (a torn abort, a double publication) show
+ * up as a count mismatch, independent of the src/check oracle.
+ */
+
+#ifndef SCMP_WORKLOADS_TM_TM_WORKLOADS_HH
+#define SCMP_WORKLOADS_TM_TM_WORKLOADS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace scmp::tmwork
+{
+
+/** TmKmeans knobs. */
+struct TmKmeansParams
+{
+    /** Points to cluster (split round-robin over processors). */
+    int points = 2048;
+
+    /** Centroids — the contended accumulator cells. */
+    int clusters = 8;
+
+    /** Assignment/update rounds (centroids move between rounds). */
+    int rounds = 3;
+
+    std::uint64_t seed = 0x6b6d65616e73ull;
+};
+
+/** Kmeans-flavoured clustering with transactional accumulators. */
+class TmKmeansWorkload : public ParallelWorkload
+{
+  public:
+    explicit TmKmeansWorkload(TmKmeansParams params = {});
+
+    std::string name() const override;
+    void setup(Arena &arena, const Topology &topo) override;
+    void threadMain(ThreadCtx &ctx, int tid,
+                    const Topology &topo) override;
+    bool verify() override;
+
+  private:
+    TmKmeansParams _params;
+
+    /** Point coordinates (read-only during a round). */
+    Shared<std::int32_t> *_px = nullptr;
+    Shared<std::int32_t> *_py = nullptr;
+
+    /** Current centroids (rewritten by thread 0 between rounds). */
+    Shared<std::int32_t> *_cx = nullptr;
+    Shared<std::int32_t> *_cy = nullptr;
+
+    /**
+     * Per-centroid accumulators, one array each so the three words
+     * of a cell sit on three different cache lines — the capacity
+     * fixture (see the file comment).
+     */
+    Shared<std::int64_t> *_sumX = nullptr;
+    Shared<std::int64_t> *_sumY = nullptr;
+    Shared<std::int32_t> *_cnt = nullptr;
+
+    std::optional<SimLock> _fallback;
+    std::optional<SimBarrier> _barrier;
+};
+
+/** TmVacation knobs. */
+struct TmVacationParams
+{
+    /** Bookable resources (each padded to its own line). */
+    int resources = 64;
+
+    /** Seats per resource; full resources reject the booking. */
+    int capacity = 16;
+
+    /** Booking transactions issued by each processor. */
+    int txnsPerThread = 256;
+
+    /** A booking touches 1..queryRange distinct resources. */
+    int queryRange = 4;
+
+    std::uint64_t seed = 0x7661636174ull;
+};
+
+/** Vacation-flavoured reservation table with transactional bookings. */
+class TmVacationWorkload : public ParallelWorkload
+{
+  public:
+    explicit TmVacationWorkload(TmVacationParams params = {});
+
+    std::string name() const override;
+    void setup(Arena &arena, const Topology &topo) override;
+    void threadMain(ThreadCtx &ctx, int tid,
+                    const Topology &topo) override;
+    bool verify() override;
+
+    /** Seats booked across all resources (host view, tests). */
+    std::uint64_t booked() const;
+
+  private:
+    /** u32 words per resource slot = one 64-byte line. */
+    static constexpr int slotStride = 16;
+
+    TmVacationParams _params;
+
+    /** reserved count of resource r at [r * slotStride]. */
+    Shared<std::uint32_t> *_reserved = nullptr;
+
+    std::optional<SimLock> _fallback;
+
+    /** Seats each thread successfully booked (host tally). */
+    std::vector<std::uint64_t> _bookedBy;
+};
+
+} // namespace scmp::tmwork
+
+#endif // SCMP_WORKLOADS_TM_TM_WORKLOADS_HH

@@ -24,6 +24,14 @@
  * store buffers and drain lazily, the generator sprinkles fences,
  * and the order-tolerant oracle must verify retire-order drains,
  * read bypasses, and fence-ordered visibility the whole run.
+ *
+ * A fourth pass reruns every topology x protocol with hardware
+ * transactional memory (--tm={eager,lazy}) at a tiny set size:
+ * the generator opens randomized transactions, conflicts and
+ * capacity overflows doom them mid-flight, and the oracle's
+ * atomicity/isolation mirror must validate every commit's read
+ * set and publication while verifying aborted speculation never
+ * reached golden memory.
  */
 
 #include <cstdio>
@@ -250,6 +258,77 @@ main()
             }
         }
         std::printf("fuzz smoke [%s weak]: %d runs clean\n",
+                    netTopologyName(topology), topologyRuns);
+    }
+
+    // TM pass: both conflict managers at a set size small enough
+    // that capacity aborts fire alongside conflict aborts. Every
+    // configuration must actually commit AND abort transactions,
+    // and the checker's transactional mirror must have validated
+    // commits — a TM run that never speculated proves nothing.
+    const TmMode tmModes[] = {TmMode::Eager, TmMode::Lazy};
+    for (NetTopology topology : topologies) {
+        int topologyRuns = 0;
+        for (std::uint64_t seed : seeds) {
+            for (int p : procs) {
+                for (CoherenceProtocol protocol : protocols) {
+                    for (TmMode mode : tmModes) {
+                        MachineConfig config;
+                        config.numClusters =
+                            topology == NetTopology::Tree ? 4 : 2;
+                        config.cpusPerCluster = p;
+                        config.scc.sizeBytes = 16ull << 10;
+                        config.scc.protocol = protocol;
+                        config.net.topology = topology;
+                        config.net.segments = 2;
+                        config.tm.mode = mode;
+                        config.tm.setEntries = p % 2 ? 2 : 8;
+                        config.checkCoherence = true;
+
+                        Machine machine(config);
+                        check::TrafficParams params;
+                        params.seed = seed;
+                        params.steps = 15000;
+                        params.totalCpus = config.totalCpus();
+                        params.lineBytes = config.scc.lineBytes;
+                        params.txnFraction = 0.05;
+                        params.txnLength = 6;
+                        check::TrafficStats traffic =
+                            check::TrafficGen(params).run(machine);
+
+                        const check::CoherenceChecker &checker =
+                            *machine.checker();
+                        bool exercised =
+                            traffic.txnCommits > 0 &&
+                            checker.tmCommitsChecked.value() > 0 &&
+                            checker.tmPublishesChecked.value() > 0;
+                        // Single-processor machines have no one to
+                        // conflict with; everyone else must abort.
+                        if (config.totalCpus() > 1)
+                            exercised = exercised &&
+                                        traffic.txnAborts > 0 &&
+                                        checker.tmAbortsChecked
+                                                .value() > 0;
+                        if (checker.checksPerformed() == 0 ||
+                            !exercised) {
+                            std::fprintf(
+                                stderr,
+                                "FAIL: tm run exercised no "
+                                "speculation (%s net %s seed %llu "
+                                "procs %d)\n",
+                                tmModeName(mode),
+                                netTopologyName(topology),
+                                (unsigned long long)seed, p);
+                            return 1;
+                        }
+                        totalChecks += checker.checksPerformed();
+                        ++runs;
+                        ++topologyRuns;
+                    }
+                }
+            }
+        }
+        std::printf("fuzz smoke [%s tm]: %d runs clean\n",
                     netTopologyName(topology), topologyRuns);
     }
 

@@ -91,6 +91,53 @@ TEST(Server, TailLatencyGrowsWithOfferedLoad)
     EXPECT_GE(heavyResult.latencyP99, lightResult.latencyP99);
 }
 
+TEST(Server, ClosedLoopCompletesAndSelfLimits)
+{
+    // The closed loop bounds in-flight work by the client
+    // population: every request still completes, and the tail
+    // cannot blow up the way an overloaded open stream does.
+    server::ServerParams closed;
+    closed.requests = 3000;
+    closed.arrival = server::ArrivalMode::Closed;
+    closed.thinkTime = 200;
+    RunResult result = runServer(closed);
+
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.requests, closed.requests);
+    EXPECT_GT(result.throughput, 0.0);
+
+    server::ServerParams overload = closed;
+    overload.arrival = server::ArrivalMode::Open;
+    overload.offeredLoad = 2.0;
+    RunResult open = runServer(overload);
+    EXPECT_LE(result.latencyP99, open.latencyP99);
+}
+
+TEST(Server, ClosedLoopIsDeterministicAndNamedDistinctly)
+{
+    server::ServerParams params;
+    params.requests = 2000;
+    params.arrival = server::ArrivalMode::Closed;
+    RunResult a = runServer(params);
+    RunResult b = runServer(params);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.latencyP99, b.latencyP99);
+
+    // Mode and think time shape the stream, so both must show in
+    // the name; the open-loop name must stay exactly as it was so
+    // historical store records still match.
+    server::ServerParams open = params;
+    open.arrival = server::ArrivalMode::Open;
+    EXPECT_EQ(server::ServerWorkload(open).name(),
+              "server-l0.70-r2000");
+    EXPECT_EQ(server::ServerWorkload(params).name(),
+              "server-closed-t400-r2000");
+    server::ServerParams pensive = params;
+    pensive.thinkTime = 900;
+    EXPECT_NE(server::ServerWorkload(params).name(),
+              server::ServerWorkload(pensive).name());
+}
+
 TEST(Server, MetricsRoundTripThroughResultStore)
 {
     sweep::StoredPoint point;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Proof the transactional oracle has teeth: a conflict manager
+ * that forgets to detect transaction-vs-transaction conflicts must
+ * die under the checker, and — the scarier half — run to
+ * completion silently without it.
+ *
+ * This binary is compiled with SCMP_TM_MUTATION, which gives it
+ * its own copy of tm_manager.cc where the three tx-tx probes
+ * (eager's older-conflictor test and younger-doom sweep, lazy's
+ * commit-time doom-published sweep) are compiled out. Two
+ * transactions can then race on the same line and BOTH believe
+ * they are isolated: the writer publishes while the reader's read
+ * set still holds the old value, and the reader's commit is an
+ * isolation violation the checker's read-set validation must
+ * catch. The link resolves the managers from that object file, so
+ * the mutated managers exist only here; the library everyone else
+ * links is untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/checker.hh"
+#include "core/machine.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/**
+ * The minimal isolation race, driven directly against the machine:
+ * cpu 0 (older) opens a transaction and reads X; cpu 1 opens a
+ * transaction, writes X — under the mutation nobody is doomed —
+ * and commits, publishing X. cpu 0's commit then claims atomicity
+ * over a read set the world has already overwritten.
+ */
+void
+runMutatedRace(TmMode mode, bool check)
+{
+    MachineConfig config;
+    config.numClusters = 2;
+    config.cpusPerCluster = 2;
+    config.scc.sizeBytes = 16 << 10;
+    config.tm.mode = mode;
+    config.checkCoherence = check;
+
+    Machine machine(config);
+    constexpr Addr x = 0x10000;
+    Cycle t0 = machine.tmBegin(0, 0);
+    Cycle t1 = machine.tmBegin(1, 0);
+    t0 = machine.access(0, RefType::Read, x, t0, 1);
+    t1 = machine.access(1, RefType::Write, x, t1, 1);
+    bool committed = false;
+    t1 = machine.tmCommit(1, t1, &committed);
+    if (!committed)
+        FAIL() << "mutated manager detected the writer's conflict";
+    // An intact manager doomed cpu 0 by now; the mutated one left
+    // it healthy, so its commit proceeds to read-set validation.
+    machine.tmCommit(0, t0, &committed);
+    if (!committed)
+        machine.tmAbort(0, t0);
+}
+
+TEST(TmMutationDeath, CheckerCatchesEagerIsolationBreak)
+{
+    unsetenv("SCMP_CHECK");
+    EXPECT_DEATH(runMutatedRace(TmMode::Eager, /*check=*/true),
+                 "isolation violated");
+}
+
+TEST(TmMutationDeath, CheckerCatchesLazyIsolationBreak)
+{
+    unsetenv("SCMP_CHECK");
+    EXPECT_DEATH(runMutatedRace(TmMode::Lazy, /*check=*/true),
+                 "isolation violated");
+}
+
+TEST(TmMutationDeath, MutationIsSilentWithoutChecker)
+{
+    // The same race, unchecked, commits both transactions without
+    // a whisper — atomicity silently evaporates and every statistic
+    // looks plausible. This is why the transactional mirror exists.
+    unsetenv("SCMP_CHECK");
+    runMutatedRace(TmMode::Eager, /*check=*/false);
+    runMutatedRace(TmMode::Lazy, /*check=*/false);
+    SUCCEED();
+}
+
+} // namespace
