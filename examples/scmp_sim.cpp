@@ -9,7 +9,7 @@
  *
  * Usage:
  *   scmp_sim <barnes|mp3d|cholesky|multiprog|fuzz
- *             |tmkmeans|tmvacation>
+ *             |tmkmeans|tmvacation|secpp>
  *     [--clusters=N] [--procs=N] [--scc=SIZE] [--line=SIZE]
  *     [--assoc=N] [--banks=N] [--organization=shared|private]
  *     [--protocol=invalidate|update] [--bus-occupancy=N]
@@ -20,8 +20,11 @@
  *     [--consistency=sc|weak] [--sb-entries=N]
  *     [--tm=off|eager|lazy] [--tm-set-entries=N]
  *     [--tm-max-aborts=N]
+ *     [--isolation=none|waypart|color|rand]
+ *     [--isolation-domains=N] [--rekey-fills=N]
  *     [--icache=0|1] [--check] [--stats] [--csv]
  *     [--obs[=FILE]] [--obs-interval=N] [--obs-series=FILE]
+ *     [--obs-sec-sets=N]
  *   scmp_sim --list
  *     workload knobs:
  *       barnes:   [--bodies=N] [--steps=N] [--theta=X]
@@ -31,6 +34,7 @@
  *       tmkmeans: [--points=N] [--centroids=N] [--rounds=N]
  *       tmvacation: [--resources=N] [--capacity=N] [--txns=N]
  *                 [--query-range=N]
+ *       secpp:    [--sec-epochs=N] [--sec-symbols=N]
  *       fuzz:     [--seed=N] [--fuzz-steps=N] [--hot-lines=N]
  *                 [--private-lines=N] [--write-frac=X]
  *                 [--shared-frac=X] [--false-share-frac=X]
@@ -70,6 +74,7 @@
 #include "workloads/splash/barnes.hh"
 #include "workloads/splash/cholesky.hh"
 #include "workloads/splash/mp3d.hh"
+#include "workloads/sec/prime_probe.hh"
 #include "workloads/tm/tm_workloads.hh"
 
 namespace
@@ -173,6 +178,21 @@ machineFromFlags(const Config &config)
     machine.tm.maxAborts =
         (int)config.getInt("tm-max-aborts", machine.tm.maxAborts);
 
+    // Cache isolation (src/sec). The default is none — the open
+    // shared cache every other figure measures, bit-identical to
+    // pre-src/sec builds; --isolation={waypart,color,rand} arms a
+    // mitigation that partitions the SCC between security domains
+    // (processor p belongs to domain p % --isolation-domains).
+    std::string isolation = config.getString("isolation", "none");
+    if (!parseIsolationMode(isolation, &machine.scc.sec.mode)) {
+        fatal("--isolation must be 'none', 'waypart', 'color' or "
+              "'rand' (got '", isolation, "'); see --list");
+    }
+    machine.scc.sec.domains = (int)config.getInt(
+        "isolation-domains", machine.scc.sec.domains);
+    machine.scc.sec.rekeyFills = (std::uint64_t)config.getInt(
+        "rekey-fills", (long long)machine.scc.sec.rekeyFills);
+
     machine.checkCoherence = config.getBool("check", false);
 
     // Observability (src/obs). A bare --obs picks a default trace
@@ -191,6 +211,11 @@ machineFromFlags(const Config &config)
     }
     if (config.has("obs-interval"))
         machine.obs.intervalCycles = config.getSize("obs-interval");
+    if (config.has("obs-sec-sets")) {
+        machine.obs.enabled = true;
+        machine.obs.secSets =
+            (int)config.getInt("obs-sec-sets", 0);
+    }
     if (machine.obs.enabled) {
         if (machine.obs.intervalCycles == 0)
             machine.obs.intervalCycles = obs::defaultObsInterval;
@@ -209,9 +234,10 @@ commonFlags()
         "segments", "arbitration", "sf-cap",
         "mem", "channels", "mem-banks", "mem-sched",
         "consistency", "sb-entries",
-        "tm", "tm-set-entries", "tm-max-aborts", "icache",
+        "tm", "tm-set-entries", "tm-max-aborts",
+        "isolation", "isolation-domains", "rekey-fills", "icache",
         "check", "stats", "csv", "obs", "obs-interval",
-        "obs-series", "list",
+        "obs-series", "obs-sec-sets", "list",
     };
     return flags;
 }
@@ -229,6 +255,7 @@ workloadFlags()
             {"tmkmeans", {"points", "centroids", "rounds"}},
             {"tmvacation",
              {"resources", "capacity", "txns", "query-range"}},
+            {"secpp", {"sec-epochs", "sec-symbols"}},
             {"fuzz",
              {"seed", "fuzz-steps", "hot-lines", "private-lines",
               "write-frac", "shared-frac", "false-share-frac",
@@ -242,7 +269,7 @@ printUsage(std::FILE *out)
 {
     std::fprintf(out,
                  "usage: scmp_sim <barnes|mp3d|cholesky|multiprog"
-                 "|fuzz|tmkmeans|tmvacation> [flags]\n"
+                 "|fuzz|tmkmeans|tmvacation|secpp> [flags]\n"
                  "       scmp_sim --list\n"
                  "see the file header for the flag list\n");
 }
@@ -263,6 +290,8 @@ printList()
                 "transactional accumulators\n");
     std::printf("  tmvacation STAMP-vacation-like reservations, "
                 "all-or-nothing bookings\n");
+    std::printf("  secpp      prime+probe spy/victim pair, "
+                "reports leakage bits/epoch\n");
     std::printf("  fuzz       randomized coherence traffic "
                 "(pairs with --check)\n");
     std::printf("protocols:\n");
@@ -309,6 +338,20 @@ printList()
                 "             aborts past it; --tm-max-aborts=N "
                 "retries before the\n"
                 "             fallback lock)\n");
+    std::printf("isolation modes (--isolation):\n");
+    std::printf("  none       open shared cache — every line "
+                "contends everywhere (default)\n");
+    std::printf("  waypart    way partitioning: each domain fills "
+                "only its own ways per set\n");
+    std::printf("  color      set coloring: the index space is "
+                "carved into per-domain regions\n");
+    std::printf("  rand       randomized indexing: per-domain "
+                "keyed index hash, rekeyed and\n"
+                "             flushed every --rekey-fills=N fills\n");
+    std::printf("             (domains = --isolation-domains=N; "
+                "processor p is in domain\n"
+                "             p %% N; requires "
+                "--organization=shared)\n");
     return 0;
 }
 
@@ -524,6 +567,12 @@ main(int argc, char **argv)
         params.queryRange = (int)config.getInt("query-range", 4);
         workload =
             std::make_unique<tmwork::TmVacationWorkload>(params);
+    } else if (which == "secpp") {
+        secwork::PrimeProbeParams params = secwork::paramsFor(
+            machine, (int)config.getInt("sec-epochs", 96),
+            (int)config.getInt("sec-symbols", 8));
+        workload =
+            std::make_unique<secwork::PrimeProbeWorkload>(params);
     } else {
         fatal("unknown workload '", which, "'");
     }
@@ -533,6 +582,15 @@ main(int argc, char **argv)
     printMetrics(which.c_str(), machine, result.cycles,
                  result.references, result.readMissRate,
                  result.invalidations, result.verified, csv);
+    if (result.secEpochs && !csv) {
+        std::printf("probe accuracy      %.3f (chance %.3f)\n",
+                    result.secProbeAccuracy,
+                    result.secChanceAccuracy);
+        std::printf("leakage             %.3f bits/epoch over "
+                    "%llu epochs\n",
+                    result.leakBitsPerEpoch,
+                    (unsigned long long)result.secEpochs);
+    }
 
     auto unread = config.unreadKeys();
     for (const auto &key : unread)

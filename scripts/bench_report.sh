@@ -39,7 +39,7 @@ for arg in "$@"; do
     esac
 done
 
-BENCHES="fig2_barnes fig3_mp3d fig4_cholesky fig_mem_scaling fig_consistency fig_tm"
+BENCHES="fig2_barnes fig3_mp3d fig4_cholesky fig_mem_scaling fig_consistency fig_tm fig_sec"
 
 # Fail fast with a real explanation instead of a cmake stack trace
 # when pointed at a missing or bench-less build directory.
@@ -95,7 +95,8 @@ import sys
 
 tmp, out, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = ["fig2_barnes", "fig3_mp3d", "fig4_cholesky",
-           "fig_mem_scaling", "fig_consistency", "fig_tm"]
+           "fig_mem_scaling", "fig_consistency", "fig_tm",
+           "fig_sec"]
 
 report = {
     "schema": 1,

@@ -18,6 +18,14 @@ turns a store into line charts:
     manager/fabric combination over the speculative-set-size axis
     — use --metric=tmAbortRate for the abort-rate figure. The
     --tm=off lock baselines carry no set size and are skipped.
+  * isolation stores (records tagged with "isolation"/
+    "isolationDomains", as written by fig_sec or
+    DesignSpace::isolationSweep): one curve per mitigation over
+    the security-domain axis — use --metric=leakBitsPerEpoch (or
+    probeAccuracy) for the leakage figure; records without a
+    leakage sample (the SPLASH cost runs) are skipped for those
+    metrics. The --isolation=none baselines carry no domain count
+    and are skipped.
   * plain design-space stores: one curve per workload/procs pair
     over the SCC-size axis (the paper's cache-warming shape).
 
@@ -37,7 +45,8 @@ Usage: scripts/sweep_plot.py RESULTS.jsonl [--out=PREFIX]
            [--metric=cycles|readMissRate|missRate|busUtilization|
                      busTransactions|invalidations|dramFills|
                      dramRowHitRate|tmAbortRate|tmCommits|
-                     tmAborts|tmFallbacks]
+                     tmAborts|tmFallbacks|leakBitsPerEpoch|
+                     probeAccuracy]
            [--latency] [--png]
 """
 
@@ -107,6 +116,24 @@ def series_from_store(records, metric):
             series[label].append(
                 (r["tmEntries"], metric_of(r, metric)))
         xlabel = "speculative set entries"
+    elif any(r.get("isolation") for r in records):
+        sec_metrics = {"leakBitsPerEpoch", "probeAccuracy",
+                       "chanceAccuracy"}
+        series = defaultdict(list)
+        for r in records:
+            # The --isolation=none baselines have no domain count,
+            # so they have no place on this axis; the SPLASH cost
+            # runs carry no leakage sample.
+            if not r.get("isolation") or \
+                    not r.get("isolationDomains"):
+                continue
+            if metric in sec_metrics and \
+                    metric not in r.get("result", {}):
+                continue
+            label = f"{r['isolation']}/{r.get('workload', '?')}"
+            series[label].append(
+                (r["isolationDomains"], metric_of(r, metric)))
+        xlabel = "security domains"
     elif any(r.get("net") for r in records):
         series = defaultdict(list)
         for r in records:

@@ -55,7 +55,9 @@ CoherenceChecker::CoherenceChecker(
       tmPublishesChecked(&_group, "tmPublishesChecked",
                          "commit publication writes matched"),
       tmAbortsChecked(&_group, "tmAbortsChecked",
-                      "transaction aborts verified unpublished")
+                      "transaction aborts verified unpublished"),
+      partitionChecks(&_group, "partitionChecks",
+                      "isolation partition placements checked")
 {
     for (std::size_t i = 0; i < _caches.size(); ++i) {
         panic_if(!_caches[i], "checker: null cache at index ", i);
@@ -513,6 +515,7 @@ CoherenceChecker::fullWalk()
     WalkStats stats = walkTagInvariants(_caches, &_oracle);
     ++fullWalks;
     linesWalked += stats.linesWalked;
+    partitionChecks += stats.partitionChecks;
 }
 
 std::uint64_t

@@ -229,6 +229,7 @@ class CoherenceChecker : public CoherenceObserver
     stats::Scalar tmReadSetChecks; //!< read-set words validated
     stats::Scalar tmPublishesChecked; //!< publication writes matched
     stats::Scalar tmAbortsChecked; //!< aborts verified unpublished
+    stats::Scalar partitionChecks; //!< isolation placements checked
     /// @}
 };
 

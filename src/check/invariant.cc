@@ -57,11 +57,26 @@ walkTagInvariants(
                      "invariant: cache ", ci,
                      " holds a misaligned tag 0x", std::hex,
                      line.tag);
-            panic_if(tags.setIndex(line.tag) != set,
-                     "invariant: cache ", ci, " line 0x", std::hex,
-                     line.tag, std::dec,
-                     " stored in set ", set, " but indexes to set ",
-                     tags.setIndex(line.tag));
+            std::uint32_t way = (std::uint32_t)((idx - 1) % assoc);
+            if (!tags.isolated()) {
+                panic_if(tags.setIndex(line.tag) != set,
+                         "invariant: cache ", ci, " line 0x",
+                         std::hex, line.tag, std::dec,
+                         " stored in set ", set,
+                         " but indexes to set ",
+                         tags.setIndex(line.tag));
+            } else {
+                // The partition invariant: the line must sit where
+                // its recorded security domain's policy placed it —
+                // never in another domain's ways or sets.
+                ++stats.partitionChecks;
+                panic_if(!tags.placementValid(line, set, way),
+                         "invariant: cache ", ci, " line 0x",
+                         std::hex, line.tag, std::dec,
+                         " of security domain ", line.domain,
+                         " stored in set ", set, " way ", way,
+                         " — the isolation partition is violated");
+            }
             panic_if(line.lruStamp > stampCap,
                      "invariant: cache ", ci, " line 0x", std::hex,
                      line.tag, std::dec, " LRU stamp ",

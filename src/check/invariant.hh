@@ -40,6 +40,14 @@ struct WalkStats
 {
     std::uint64_t linesWalked = 0;  //!< every way of every set
     std::uint64_t validLines = 0;   //!< lines holding a block
+
+    /**
+     * Valid lines whose placement was checked against an isolation
+     * policy (src/sec): a domain's line must never occupy another
+     * domain's ways (waypart) or sets (color/rand). Zero when no
+     * walked cache is isolated.
+     */
+    std::uint64_t partitionChecks = 0;
 };
 
 /**

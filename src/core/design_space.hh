@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/parallel_run.hh"
+#include "sec/sec_params.hh"
 #include "sim/table.hh"
 
 namespace scmp
@@ -122,6 +123,18 @@ struct TmPoint
     RunResult result;
 };
 
+/**
+ * One evaluated isolation-mode × domain-count point (src/sec
+ * study). None points carry the unmitigated baseline the slowdown
+ * column divides by.
+ */
+struct IsolationPoint
+{
+    IsolationMode mode = IsolationMode::None;
+    int domains = 0;
+    RunResult result;
+};
+
 /** Sweep driver and result views. */
 class DesignSpace
 {
@@ -220,6 +233,23 @@ class DesignSpace
         const std::vector<TmMode> &modes,
         const std::vector<NetTopology> &topologies,
         const std::vector<int> &setSizes,
+        bool verbose = false);
+
+    /**
+     * The cache-isolation study: run the workload over {isolation
+     * mode} × {domain count}, through the same result-store/resume
+     * /obs plumbing as sweep(). Domains only exist when a
+     * mitigation does, so --isolation=none baselines are evaluated
+     * once (with the first domain count) instead of duplicating
+     * identical points — and the none point's key is bit-identical
+     * to a pre-src/sec store's (the sec axis never enters the hash
+     * at its default). Each stored record carries its
+     * "isolation"/"isolationDomains" axes. Defined in scmp_sweep.
+     */
+    static std::vector<IsolationPoint> isolationSweep(
+        const WorkloadFactory &factory, MachineConfig base,
+        const std::vector<IsolationMode> &modes,
+        const std::vector<int> &domainCounts,
         bool verbose = false);
 
     /**

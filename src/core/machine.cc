@@ -30,6 +30,30 @@ MachineConfig::check() const
                  "publication provides its own ordering and does "
                  "not compose with per-CPU store buffers");
     }
+    if (scc.sec.mode != IsolationMode::None) {
+        fatal_if(organization != ClusterOrganization::SharedCache,
+                 "--isolation partitions the shared cluster cache; "
+                 "private-cache organizations have no cross-domain "
+                 "channel to close");
+        fatal_if(scc.sec.domains < 2,
+                 "--isolation-domains must be at least two");
+        std::uint64_t sets =
+            scc.sizeBytes / scc.lineBytes / scc.assoc;
+        if (scc.sec.mode == IsolationMode::WayPart) {
+            fatal_if(scc.assoc % (std::uint32_t)scc.sec.domains !=
+                         0,
+                     "--isolation=waypart needs --assoc (",
+                     scc.assoc, ") divisible by "
+                     "--isolation-domains (", scc.sec.domains, ")");
+        }
+        if (scc.sec.mode == IsolationMode::Color) {
+            fatal_if(!isPowerOf2((std::uint64_t)scc.sec.domains) ||
+                         (std::uint64_t)scc.sec.domains > sets,
+                     "--isolation=color needs a power-of-two "
+                     "--isolation-domains dividing the SCC's ",
+                     sets, " sets");
+        }
+    }
     fatal_if(net.segments <= 0,
              "--segments must be at least one");
     if (dram.kind == MemBackendKind::Banked) {
@@ -262,6 +286,22 @@ Machine::enableObs()
             return (std::uint64_t)
                 _tmStats->speculativeStores.value();
         });
+    }
+    // Per-set occupancy series for the side-channel study
+    // (--obs-sec-sets): one gauge per watched set of cluster 0's
+    // SCC — the occupancy interval series sec::LeakageAnalyzer
+    // scores. Off by default, so ordinary machines gain no columns.
+    if (_config.obs.secSets > 0 && !_sccs.empty()) {
+        const TagArray &tags = _sccs.front()->tags();
+        std::uint64_t watch = (std::uint64_t)_config.obs.secSets;
+        if (watch > tags.numSets())
+            watch = tags.numSets();
+        for (std::uint64_t s = 0; s < watch; ++s) {
+            r->addGauge("set" + std::to_string(s) + "Occ",
+                        [&tags, s] {
+                            return tags.setOccupancy(s);
+                        });
+        }
     }
     r->addCounter("readHits", sumScc(&SharedClusterCache::readHits));
     r->addCounter("readMisses",

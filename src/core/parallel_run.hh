@@ -63,6 +63,17 @@ struct RunResult
     double tmAbortRate = 0;  //!< aborts / (commits + aborts)
 
     /**
+     * Side-channel metrics (src/sec), attached by the prime+probe
+     * workload's annotate. Zero for every other workload and
+     * serialized only when `secEpochs` is non-zero, so stored
+     * default records stay byte-identical.
+     */
+    std::uint64_t secEpochs = 0;
+    double secProbeAccuracy = 0;    //!< P(spy guess == secret)
+    double secChanceAccuracy = 0;   //!< 1 / symbols
+    double leakBitsPerEpoch = 0;    //!< I(secret; guess), bits
+
+    /**
      * Interval-metrics series as columnar JSON, captured when the
      * run's recorder has captureSeries set; empty otherwise. Not
      * part of the simulated result — carries observability output

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "net/net_params.hh"
+#include "sec/sec_params.hh"
 #include "sim/types.hh"
 
 namespace scmp
@@ -58,6 +59,14 @@ struct SccParams
     /** Inter-cluster coherence protocol. */
     CoherenceProtocol protocol =
         CoherenceProtocol::WriteInvalidate;
+
+    /**
+     * Security-isolation placement policy (src/sec). The default
+     * (IsolationMode::None) is the paper's fully contended shared
+     * cache, bit-identical to the pre-axis machine; the axis is
+     * hashed into sweep point keys only when a mitigation is on.
+     */
+    SecParams sec;
 
     /**
      * Enable the same-line reference filter (the hot-path fast

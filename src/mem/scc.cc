@@ -14,7 +14,8 @@ SharedClusterCache::SharedClusterCache(stats::Group *parent,
                                        const SccParams &params,
                                        Interconnect *bus)
     : _cluster(cluster), _params(params), _bus(bus),
-      _tags(params.sizeBytes, params.lineBytes, params.assoc),
+      _tags(params.sizeBytes, params.lineBytes, params.assoc,
+            params.sec),
       _bankNextFree((std::size_t)numCpus * params.banksPerCpu, 0),
       statsGroup(parent, "scc"),
       readHits(&statsGroup, "readHits", "read hits"),
@@ -38,11 +39,19 @@ SharedClusterCache::SharedClusterCache(stats::Group *parent,
       bankConflictCycles(&statsGroup, "bankConflictCycles",
                          "cycles lost to bank arbitration"),
       missStallCycles(&statsGroup, "missStallCycles",
-                      "cycles processors stalled on misses")
+                      "cycles processors stalled on misses"),
+      rekeyFlushes(&statsGroup, "rekeyFlushes",
+                   "rand-isolation rekey flushes performed")
 {
     panic_if(numCpus <= 0, "SCC needs at least one processor");
     panic_if(!bus, "SCC needs a bus");
     _filters.resize((std::size_t)numCpus);
+    _domainByPort.assign((std::size_t)numCpus, 0);
+    if (params.sec.mode != IsolationMode::None) {
+        for (int cpu = 0; cpu < numCpus; ++cpu)
+            _domainByPort[(std::size_t)cpu] =
+                cpu % params.sec.domains;
+    }
 }
 
 BankId
@@ -218,15 +227,62 @@ SharedClusterCache::access(int localCpu, RefType type, Addr addr,
     DPRINTF(Cache, "scc", _cluster, " ", refTypeName(type),
             " miss line 0x", std::hex, lineAddr, std::dec, " @",
             start);
-    Cycle ready = handleMiss(type, lineAddr, start);
+    Cycle ready = handleMiss(type, lineAddr, start,
+                             _domainByPort[(std::size_t)localCpu]);
     missStallCycles += ready - start;
     return ready;
 }
 
+void
+SharedClusterCache::rekeyFlush(Cycle now)
+{
+    // Empty the array: every resident line leaves through the same
+    // writeback/evict sequence a capacity eviction uses, so the
+    // observer's shadow state tracks the flush exactly.
+    _tags.forEachLine([&](CacheLine &line) {
+        if (!line.valid())
+            return;
+        if (_mshrs.erase(line.tag) && _recorder)
+            _recorder->mshrRetire(_cluster, line.tag, now);
+        bool dirty = line.state == CoherenceState::Modified;
+        if (dirty) {
+            ++writeBacks;
+            _bus->transaction(_cluster, BusOp::WriteBack, line.tag,
+                              now);
+        }
+        if (_observer) {
+            if (dirty)
+                _observer->onDirtyFlush(_cluster, line.tag);
+            _observer->onEvict(_cluster, line.tag, dirty);
+        }
+        line.state = CoherenceState::Invalid;
+        line.tag = invalidAddr;
+        line.lruStamp = 0;
+        line.domain = 0;
+    });
+    for (FilterSet &set : _filters)
+        set = FilterSet{};
+    ++_fillEpoch;
+    _tags.rekey();
+    _fillsSinceRekey = 0;
+    ++rekeyFlushes;
+    DPRINTF(Cache, "scc", _cluster, " rekeyed to epoch ",
+            _tags.rekeyEpoch(), " @", now);
+}
+
 Cycle
 SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
-                               Cycle now)
+                               Cycle now, int domain)
 {
+    // Rand isolation turns its epoch by fill count: once enough
+    // fills have landed under the current keys, flush and rekey
+    // before this miss allocates.
+    if (_params.sec.mode == IsolationMode::Rand &&
+        _params.sec.rekeyFills != 0 &&
+        _fillsSinceRekey >= _params.sec.rekeyFills)
+        rekeyFlush(now);
+    ++_fillsSinceRekey;
+
     // Every fill moves a tag and allocates an MSHR; advancing the
     // epoch here is what lets the reference filters prove, with one
     // compare, that neither has happened since they were armed.
@@ -234,7 +290,7 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
 
     // Evict the victim; write back dirty data (buffered, so the
     // requester does not wait on it beyond bus occupancy).
-    CacheLine *victim = _tags.victim(lineAddr);
+    CacheLine *victim = _tags.victim(lineAddr, domain);
     if (victim->valid()) {
         if (_mshrs.erase(victim->tag) && _recorder)
             _recorder->mshrRetire(_cluster, victim->tag, now);
@@ -279,7 +335,7 @@ SharedClusterCache::handleMiss(RefType type, Addr lineAddr,
             _observer->onDirtyFlush(_cluster, victim->tag);
         _observer->onEvict(_cluster, victim->tag, dirty);
     }
-    _tags.fill(victim, lineAddr, fillState);
+    _tags.fill(victim, lineAddr, fillState, domain);
     if (_observer)
         _observer->onFill(_cluster, lineAddr, fillState);
     _mshrs.set(lineAddr, ready);

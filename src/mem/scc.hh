@@ -96,8 +96,17 @@ class SharedClusterCache : public Snooper
     double missRate() const;
 
   private:
-    /** Handle a miss; returns data-ready cycle. */
-    Cycle handleMiss(RefType type, Addr lineAddr, Cycle now);
+    /** Handle a miss by @p domain; returns data-ready cycle. */
+    Cycle handleMiss(RefType type, Addr lineAddr, Cycle now,
+                     int domain);
+
+    /**
+     * Rand-isolation epoch turn: write back and drop every resident
+     * line, clear the filters and MSHRs, and re-derive the tag
+     * array's per-domain index keys. Deterministic — triggered by
+     * fill counts, never by wall time.
+     */
+    void rekeyFlush(Cycle now);
 
     /**
      * One processor port's last-hit filter — the reference fast
@@ -188,6 +197,15 @@ class SharedClusterCache : public Snooper
     /** Bumped by every handleMiss (fill/evict/MSHR-allocate). */
     std::uint64_t _fillEpoch = 0;
 
+    /**
+     * Security domain of each local processor (localCpu % domains;
+     * all zero when isolation is off).
+     */
+    std::vector<int> _domainByPort;
+
+    /** Fills since the last rand-isolation rekey flush. */
+    std::uint64_t _fillsSinceRekey = 0;
+
     stats::Group statsGroup;
 
   public:
@@ -206,6 +224,7 @@ class SharedClusterCache : public Snooper
     stats::Scalar interventionsSupplied;
     stats::Scalar bankConflictCycles;
     stats::Scalar missStallCycles;
+    stats::Scalar rekeyFlushes;   //!< rand-isolation epoch turns
     /// @}
 };
 

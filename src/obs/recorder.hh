@@ -71,6 +71,14 @@ struct RecorderConfig
 
     /** Print the per-phase breakdown table at finish(). */
     bool printPhases = false;
+
+    /**
+     * Per-set occupancy gauges for the first N sets of cluster 0's
+     * SCC (the side-channel study's observable; src/sec scores the
+     * interval series). 0 — the default — registers no columns, so
+     * ordinary machines' series are untouched.
+     */
+    int secSets = 0;
 };
 
 /** The attached observability recorder. */

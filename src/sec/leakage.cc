@@ -1,0 +1,99 @@
+#include "leakage.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace scmp::sec
+{
+
+LeakageAnalyzer::LeakageAnalyzer(int symbols) : _symbols(symbols)
+{
+    fatal_if(symbols < 2,
+             "a channel needs at least two symbols (got ", symbols,
+             ")");
+    _joint.assign((std::size_t)symbols * symbols, 0);
+}
+
+void
+LeakageAnalyzer::addEpoch(int secret, int guess)
+{
+    panic_if(secret < 0 || secret >= _symbols,
+             "secret symbol ", secret, " outside the alphabet");
+    panic_if(guess < 0 || guess >= _symbols,
+             "guessed symbol ", guess, " outside the alphabet");
+    ++_epochs;
+    if (secret == guess)
+        ++_hits;
+    ++_joint[(std::size_t)secret * _symbols + guess];
+}
+
+double
+LeakageAnalyzer::probeAccuracy() const
+{
+    return _epochs ? (double)_hits / (double)_epochs : 0.0;
+}
+
+double
+LeakageAnalyzer::bitsPerEpoch() const
+{
+    if (!_epochs)
+        return 0.0;
+    std::vector<double> ps((std::size_t)_symbols, 0.0);
+    std::vector<double> pg((std::size_t)_symbols, 0.0);
+    double n = (double)_epochs;
+    for (int s = 0; s < _symbols; ++s) {
+        for (int g = 0; g < _symbols; ++g) {
+            double p = _joint[(std::size_t)s * _symbols + g] / n;
+            ps[(std::size_t)s] += p;
+            pg[(std::size_t)g] += p;
+        }
+    }
+    double info = 0.0;
+    for (int s = 0; s < _symbols; ++s) {
+        for (int g = 0; g < _symbols; ++g) {
+            double p = _joint[(std::size_t)s * _symbols + g] / n;
+            if (p <= 0.0)
+                continue;
+            info += p * std::log2(p / (ps[(std::size_t)s] *
+                                       pg[(std::size_t)g]));
+        }
+    }
+    return info > 0.0 ? info : 0.0;
+}
+
+LeakageReport
+LeakageAnalyzer::report() const
+{
+    LeakageReport r;
+    r.epochs = _epochs;
+    r.probeAccuracy = probeAccuracy();
+    r.chanceAccuracy = 1.0 / _symbols;
+    r.bitsPerEpoch = bitsPerEpoch();
+    return r;
+}
+
+double
+LeakageAnalyzer::seriesMutualInformation(
+    const std::vector<int> &secrets,
+    const std::vector<std::vector<double>> &perSetSamples,
+    int symbols)
+{
+    fatal_if(secrets.size() != perSetSamples.size(),
+             "secret series and sample series disagree on length");
+    LeakageAnalyzer scorer(symbols);
+    for (std::size_t i = 0; i < secrets.size(); ++i) {
+        const std::vector<double> &row = perSetSamples[i];
+        panic_if(row.empty(), "empty per-set sample row");
+        int best = 0;
+        for (std::size_t k = 1;
+             k < row.size() && k < (std::size_t)symbols; ++k) {
+            if (row[k] > row[(std::size_t)best])
+                best = (int)k;
+        }
+        scorer.addEpoch(secrets[i], best);
+    }
+    return scorer.bitsPerEpoch();
+}
+
+} // namespace scmp::sec

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offline scoring of a cache side channel's quality.
+ *
+ * The prime+probe workload (src/workloads/sec) hands every epoch's
+ * true secret symbol and the spy's reconstructed guess to a
+ * LeakageAnalyzer; the analyzer turns the series into the numbers a
+ * mitigation study needs: probe accuracy (how often the spy was
+ * right), the channel's mutual information in bits per epoch, and
+ * the chance floor both collapse to when a mitigation works.
+ *
+ * The same estimator also scores raw observation series — e.g. the
+ * obs layer's per-set occupancy intervals (--obs-sec-sets): given
+ * one row of per-set samples per epoch, the set with the largest
+ * sample is the inferred symbol and the series is scored like any
+ * other guess stream. That is exactly the computation an offline
+ * attacker would run over a leaked occupancy trace.
+ */
+
+#ifndef SCMP_SEC_LEAKAGE_HH
+#define SCMP_SEC_LEAKAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace scmp::sec
+{
+
+/** Channel-quality summary over a run's epochs. */
+struct LeakageReport
+{
+    std::uint64_t epochs = 0;
+    double probeAccuracy = 0;   //!< P(guess == secret)
+    double chanceAccuracy = 0;  //!< 1 / symbols, the mitigated floor
+    double bitsPerEpoch = 0;    //!< I(secret; guess), bits
+};
+
+/** Accumulates (secret, guess) pairs and scores the channel. */
+class LeakageAnalyzer
+{
+  public:
+    /** @param symbols Size of the secret alphabet (> 1). */
+    explicit LeakageAnalyzer(int symbols);
+
+    /** Record one epoch's true symbol and the spy's guess. */
+    void addEpoch(int secret, int guess);
+
+    std::uint64_t epochs() const { return _epochs; }
+    int symbols() const { return _symbols; }
+
+    /** Fraction of epochs where the guess matched the secret. */
+    double probeAccuracy() const;
+
+    /**
+     * Mutual information I(secret; guess) in bits per epoch,
+     * estimated from the joint histogram. log2(symbols) for a
+     * perfect channel, ~0 when guesses are independent of secrets.
+     */
+    double bitsPerEpoch() const;
+
+    LeakageReport report() const;
+
+    /**
+     * Score a per-epoch, per-set sample matrix (probe latencies or
+     * obs per-set occupancy intervals) against the secret series:
+     * each row's argmax is the inferred symbol.
+     * @return I(secret; argmax) in bits per epoch.
+     */
+    static double seriesMutualInformation(
+        const std::vector<int> &secrets,
+        const std::vector<std::vector<double>> &perSetSamples,
+        int symbols);
+
+  private:
+    int _symbols;
+    std::uint64_t _epochs = 0;
+    std::uint64_t _hits = 0;
+    std::vector<std::uint64_t> _joint;  //!< [secret][guess] counts
+};
+
+} // namespace scmp::sec
+
+#endif // SCMP_SEC_LEAKAGE_HH

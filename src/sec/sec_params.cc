@@ -1,0 +1,34 @@
+#include "sec_params.hh"
+
+namespace scmp
+{
+
+const char *
+isolationModeName(IsolationMode mode)
+{
+    switch (mode) {
+      case IsolationMode::None: return "none";
+      case IsolationMode::WayPart: return "waypart";
+      case IsolationMode::Color: return "color";
+      case IsolationMode::Rand: return "rand";
+    }
+    return "none";
+}
+
+bool
+parseIsolationMode(const std::string &text, IsolationMode *out)
+{
+    if (text == "none")
+        *out = IsolationMode::None;
+    else if (text == "waypart")
+        *out = IsolationMode::WayPart;
+    else if (text == "color")
+        *out = IsolationMode::Color;
+    else if (text == "rand")
+        *out = IsolationMode::Rand;
+    else
+        return false;
+    return true;
+}
+
+} // namespace scmp

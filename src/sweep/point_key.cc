@@ -111,6 +111,20 @@ hashMachineConfig(const MachineConfig &config)
         h.mix(tm.abortCost);
     }
 
+    // And for the isolation axis: --isolation=none leaves SecParams
+    // inert (TagArray follows the pre-axis placement exactly), so
+    // the axis is hashed only when a mitigation is selected — every
+    // key captured before src/sec existed keeps resolving.
+    const SecParams &sec = config.scc.sec;
+    if (sec.mode != IsolationMode::None) {
+        h.mix((std::uint64_t)sec.mode);
+        h.mix((std::uint64_t)sec.domains);
+        if (sec.mode == IsolationMode::Rand) {
+            h.mix(sec.rekeyFills);
+            h.mix(sec.key);
+        }
+    }
+
     const ICacheParams &icache = config.icache;
     h.mix((std::uint64_t)icache.enabled);
     h.mix(icache.sizeBytes);

@@ -53,6 +53,11 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"tm\":" + jsonQuote(point.tm);
     if (point.tmEntries)
         out += ",\"tmEntries\":" + std::to_string(point.tmEntries);
+    if (!point.isolation.empty())
+        out += ",\"isolation\":" + jsonQuote(point.isolation);
+    if (point.isolationDomains)
+        out += ",\"isolationDomains\":" +
+               std::to_string(point.isolationDomains);
     if (!point.model.empty())
         out += ",\"model\":" + jsonQuote(point.model);
     if (point.jobs)
@@ -94,6 +99,17 @@ ResultStore::serialize(const StoredPoint &point)
         out += ",\"latencyP95\":" + jsonNumber(r.latencyP95);
         out += ",\"latencyP99\":" + jsonNumber(r.latencyP99);
         out += ",\"throughput\":" + jsonNumber(r.throughput);
+    }
+    // Side-channel metrics: only the prime+probe workload counts
+    // epochs, so every other record stays byte-identical.
+    if (r.secEpochs) {
+        out += ",\"secEpochs\":" + std::to_string(r.secEpochs);
+        out += ",\"probeAccuracy\":" +
+               jsonNumber(r.secProbeAccuracy);
+        out += ",\"chanceAccuracy\":" +
+               jsonNumber(r.secChanceAccuracy);
+        out += ",\"leakBitsPerEpoch\":" +
+               jsonNumber(r.leakBitsPerEpoch);
     }
     out += "}";
 
@@ -181,6 +197,11 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
     point.tm = tm ? tm->asString() : "";
     const Json *tmEntries = doc.find("tmEntries");
     point.tmEntries = tmEntries ? (int)tmEntries->asU64() : 0;
+    const Json *isolation = doc.find("isolation");
+    point.isolation = isolation ? isolation->asString() : "";
+    const Json *isolationDomains = doc.find("isolationDomains");
+    point.isolationDomains =
+        isolationDomains ? (int)isolationDomains->asU64() : 0;
     const Json *model = doc.find("model");
     point.model = model ? model->asString() : "";
     const Json *jobs = doc.find("jobs");
@@ -253,6 +274,18 @@ ResultStore::deserialize(const std::string &line, StoredPoint &point,
         {"throughput", &r.throughput},
     };
     for (const auto &field : serverFields) {
+        const Json *value = result->find(field.name);
+        *field.slot = value ? value->asDouble() : 0.0;
+    }
+    // Optional side-channel fields.
+    const Json *secEpochs = result->find("secEpochs");
+    r.secEpochs = secEpochs ? secEpochs->asU64() : 0;
+    OptDouble secFields[] = {
+        {"probeAccuracy", &r.secProbeAccuracy},
+        {"chanceAccuracy", &r.secChanceAccuracy},
+        {"leakBitsPerEpoch", &r.leakBitsPerEpoch},
+    };
+    for (const auto &field : secFields) {
         const Json *value = result->find(field.name);
         *field.slot = value ? value->asDouble() : 0.0;
     }

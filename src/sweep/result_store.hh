@@ -56,6 +56,9 @@ struct StoredPoint
     /** TM conflict manager name for src/tm sweeps. */
     std::string tm;
     int tmEntries = 0;
+    /** Isolation mode name + domain count for src/sec sweeps. */
+    std::string isolation;
+    int isolationDomains = 0;
     /**
      * Evaluation model that produced the record ("analytic" for
      * screened points; empty = cycle-accurate, the historical

@@ -874,4 +874,114 @@ DesignSpace::tmSweep(const WorkloadFactory &factory,
     return points;
 }
 
+std::vector<IsolationPoint>
+DesignSpace::isolationSweep(const WorkloadFactory &factory,
+                            MachineConfig base,
+                            const std::vector<IsolationMode> &modes,
+                            const std::vector<int> &domainCounts,
+                            bool verbose)
+{
+    sweep::SweepOptions options = sweep::defaultSweepOptions();
+    options.verbose = options.verbose || verbose;
+
+    const std::string workloadName = factory()->name();
+
+    sweep::ResultStore store;
+    if (!options.resultsPath.empty())
+        store.open(options.resultsPath, options.resume);
+
+    std::vector<IsolationPoint> points;
+    points.reserve(modes.size() * domainCounts.size());
+    for (IsolationMode mode : modes) {
+        for (std::size_t d = 0; d < domainCounts.size(); ++d) {
+            // Domains are a mitigation knob; --isolation=none
+            // would evaluate the same unmitigated baseline once
+            // per count, so take only the first for it.
+            if (mode == IsolationMode::None && d > 0)
+                break;
+            int domains = domainCounts[d];
+
+            MachineConfig config = base;
+            config.scc.sec.mode = mode;
+            config.scc.sec.domains = domains;
+            std::uint64_t key = sweep::pointKey(
+                config, workloadName, options.scale);
+
+            IsolationPoint point;
+            point.mode = mode;
+            point.domains = domains;
+
+            const sweep::StoredPoint *stored =
+                options.resume && store.isOpen() ? store.find(key)
+                                                 : nullptr;
+            if (stored) {
+                fatal_if(
+                    stored->workload != workloadName ||
+                        (mode != IsolationMode::None &&
+                         (stored->isolation !=
+                              isolationModeName(mode) ||
+                          stored->isolationDomains != domains)),
+                    "results file '", options.resultsPath,
+                    "' record ", sweep::keyHex(key),
+                    " does not match its key's configuration ",
+                    "(key collision or corrupt store)");
+                point.result = stored->result;
+                points.push_back(std::move(point));
+                continue;
+            }
+
+            if (options.obs.enabled) {
+                obs::RecorderConfig obsConfig = options.obs;
+                if (!obsConfig.tracePath.empty())
+                    obsConfig.tracePath = sweep::pointedPath(
+                        obsConfig.tracePath, key);
+                if (!obsConfig.seriesPath.empty())
+                    obsConfig.seriesPath = sweep::pointedPath(
+                        obsConfig.seriesPath, key);
+                config.obs = obsConfig;
+            }
+
+            auto workload = factory();
+            workload->reseed(key);
+            std::ostringstream statsJson;
+            auto pointStart = sweep::Clock::now();
+            point.result = runParallel(
+                config, *workload, nullptr, nullptr,
+                options.attachStats ? &statsJson : nullptr);
+            double wallMs = sweep::msSince(pointStart);
+
+            if (store.isOpen()) {
+                sweep::StoredPoint record;
+                record.key = key;
+                record.workload = workloadName;
+                record.scale = options.scale;
+                record.cpusPerCluster = config.cpusPerCluster;
+                record.sccBytes = config.scc.sizeBytes;
+                record.isolation = isolationModeName(mode);
+                if (mode != IsolationMode::None)
+                    record.isolationDomains = domains;
+                record.result = point.result;
+                record.wallMs = wallMs;
+                record.statsJson = statsJson.str();
+                record.series = point.result.obsSeries;
+                store.append(record);
+            }
+            if (options.verbose) {
+                inform("isolation sweep: ", workloadName, " ",
+                       isolationModeName(mode),
+                       mode == IsolationMode::None
+                           ? std::string()
+                           : "/" + std::to_string(domains) +
+                                 " domains",
+                       " -> ", point.result.cycles,
+                       " cycles, leak=",
+                       point.result.leakBitsPerEpoch,
+                       " bits/epoch (", wallMs, " ms)");
+            }
+            points.push_back(std::move(point));
+        }
+    }
+    return points;
+}
+
 } // namespace scmp

@@ -1,0 +1,242 @@
+#include "prime_probe.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/machine.hh"
+#include "core/parallel_run.hh"
+#include "sec/leakage.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace scmp::secwork
+{
+
+namespace
+{
+
+/**
+ * Attack address spaces. Both are multiples of every possible
+ * (numSets << lineShift) stride, so set indices are governed purely
+ * by the crafted low bits, and both sit far above the simulated
+ * heap (the arena and the fuzzer live below 0x140000000).
+ */
+constexpr Addr spyBase = 0x140000000ull;
+constexpr Addr victimBase = 0x180000000ull;
+
+} // namespace
+
+PrimeProbeWorkload::PrimeProbeWorkload(PrimeProbeParams params)
+    : _params(params)
+{
+    panic_if(_params.epochs <= 0, "prime+probe needs epochs");
+    panic_if(_params.symbols < 2, "prime+probe needs >= 2 symbols");
+    panic_if(_params.assoc == 0, "prime+probe needs assoc");
+    panic_if(_params.lineBytes == 0 ||
+                 (_params.lineBytes & (_params.lineBytes - 1)) != 0,
+             "prime+probe line size must be 2^n");
+}
+
+std::string
+PrimeProbeWorkload::name() const
+{
+    // The whole reference stream is a function of these knobs (the
+    // geometry shapes the crafted addresses), so all of them go in
+    // the name; the mitigation itself is machine configuration and
+    // lives in the config hash.
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "secpp-e%d-k%d-c%llux%u/%u", _params.epochs,
+                  _params.symbols,
+                  (unsigned long long)_params.sccBytes,
+                  _params.lineBytes, _params.assoc);
+    return buf;
+}
+
+void
+PrimeProbeWorkload::reseed(std::uint64_t pointSeed)
+{
+    // Decorrelate the secret stream across design points; the run
+    // stays pure (same point, same secrets).
+    _params.seed = pointSeed ^ 0x5ec5eedull;
+}
+
+void
+PrimeProbeWorkload::setup(Arena &arena, const Topology &topo)
+{
+    _numSets = _params.sccBytes / _params.lineBytes / _params.assoc;
+    _lineShift = 0;
+    while ((1u << _lineShift) < _params.lineBytes)
+        ++_lineShift;
+
+    fatal_if(_numSets == 0, "prime+probe geometry has no sets");
+    fatal_if((std::uint64_t)_params.symbols > _numSets,
+             "prime+probe needs --sec-symbols (", _params.symbols,
+             ") <= the SCC's sets (", _numSets, ")");
+    fatal_if(topo.cpusPerCluster < 2,
+             "prime+probe needs >= 2 processors per cluster (spy "
+             "and victim must share one SCC); got ",
+             topo.cpusPerCluster);
+
+    // Pre-draw the secret symbol stream host-side; the victim only
+    // transmits it, so determinism is trivial.
+    Rng rng(_params.seed);
+    _secrets.resize(_params.epochs);
+    for (int e = 0; e < _params.epochs; ++e)
+        _secrets[e] = (int)rng.range((std::uint64_t)_params.symbols);
+    _guesses.clear();
+    _guesses.reserve(_params.epochs);
+
+    _barrier.emplace(arena, topo.totalCpus());
+}
+
+Addr
+PrimeProbeWorkload::primeAddr(int symbol, std::uint32_t way) const
+{
+    return spyBase +
+           (((Addr)way * _numSets + (Addr)symbol) << _lineShift);
+}
+
+Addr
+PrimeProbeWorkload::victimAddr(int symbol, std::uint32_t way) const
+{
+    return victimBase +
+           (((Addr)way * _numSets + (Addr)symbol) << _lineShift);
+}
+
+void
+PrimeProbeWorkload::threadMain(ThreadCtx &ctx, int tid,
+                               const Topology &topo)
+{
+    // The pair lives on cluster 0: local 0 is the victim (security
+    // domain 0), local 1 the spy (domain 1, localCpu % domains).
+    // Everyone else just keeps the barriers balanced.
+    bool victim = topo.clusterOf(tid) == 0 && topo.localOf(tid) == 0;
+    bool spy = topo.clusterOf(tid) == 0 && topo.localOf(tid) == 1;
+
+    std::vector<Cycle> primeCost;
+    std::vector<Cycle> probeCost;
+    if (spy) {
+        primeCost.resize((std::size_t)_params.symbols);
+        probeCost.resize((std::size_t)_params.symbols);
+    }
+
+    for (int epoch = 0; epoch < _params.epochs; ++epoch) {
+        // 1. prime: the spy owns every way of every contended set,
+        // timing each set as it goes — the per-set baseline for
+        // this epoch. Ambient traffic that happens to share a
+        // monitored set (the barrier line, say) costs the prime
+        // and the probe alike, so it cancels out of the decoder;
+        // only an eviction that lands BETWEEN the phases — the
+        // victim's — survives the subtraction.
+        if (spy) {
+            for (int s = 0; s < _params.symbols; ++s) {
+                Cycle start = ctx.now();
+                for (std::uint32_t w = 0; w < _params.assoc; ++w)
+                    ctx.loadAddr(primeAddr(s, w));
+                primeCost[(std::size_t)s] = ctx.now() - start;
+            }
+        }
+        ctx.barrier(*_barrier);
+
+        // 2. access: the victim's secret-dependent table lookup —
+        // one full set's worth of lines indexed by the symbol.
+        if (victim) {
+            int secret = _secrets[(std::size_t)epoch];
+            for (std::uint32_t w = 0; w < _params.assoc; ++w)
+                ctx.loadAddr(victimAddr(secret, w));
+            ctx.work(_params.assoc);
+        }
+        ctx.barrier(*_barrier);
+
+        // 3. probe: re-touch the primed lines per set and time the
+        // set again. The victim's evictions turned hits into
+        // misses, so the set that slowed down the most relative to
+        // its own prime names the symbol (differential argmax;
+        // ties resolve to the first index, which is what pins a
+        // mitigated spy at chance).
+        if (spy) {
+            for (int s = 0; s < _params.symbols; ++s) {
+                Cycle start = ctx.now();
+                for (std::uint32_t w = 0; w < _params.assoc; ++w)
+                    ctx.loadAddr(primeAddr(s, w));
+                probeCost[(std::size_t)s] = ctx.now() - start;
+            }
+            int guess = 0;
+            std::int64_t best = INT64_MIN;
+            for (int s = 0; s < _params.symbols; ++s) {
+                std::int64_t delta =
+                    (std::int64_t)probeCost[(std::size_t)s] -
+                    (std::int64_t)primeCost[(std::size_t)s];
+                if (delta > best) {
+                    best = delta;
+                    guess = s;
+                }
+            }
+            if (std::getenv("SCMP_SEC_DEBUG")) {
+                std::fprintf(stderr, "epoch %d secret %d:", epoch,
+                             _secrets[(std::size_t)epoch]);
+                for (int s = 0; s < _params.symbols; ++s)
+                    std::fprintf(
+                        stderr, " %lld",
+                        (long long)((std::int64_t)probeCost
+                                        [(std::size_t)s] -
+                                    (std::int64_t)primeCost
+                                        [(std::size_t)s]));
+                std::fprintf(stderr, " -> %d\n", guess);
+            }
+            _guesses.push_back(guess);
+        }
+        ctx.barrier(*_barrier);
+    }
+}
+
+bool
+PrimeProbeWorkload::verify()
+{
+    // Shape only: one guess per transmitted symbol. Whether the
+    // guesses are RIGHT is the measurement, not the correctness
+    // condition — a perfectly mitigated machine must still verify.
+    return _secrets.size() == (std::size_t)_params.epochs &&
+           _guesses.size() == _secrets.size();
+}
+
+double
+PrimeProbeWorkload::probeAccuracy() const
+{
+    if (_guesses.empty())
+        return 0;
+    std::size_t hits = 0;
+    for (std::size_t e = 0; e < _guesses.size(); ++e)
+        hits += _guesses[e] == _secrets[e] ? 1 : 0;
+    return (double)hits / (double)_guesses.size();
+}
+
+void
+PrimeProbeWorkload::annotate(RunResult &result) const
+{
+    sec::LeakageAnalyzer analyzer(_params.symbols);
+    for (std::size_t e = 0; e < _guesses.size(); ++e)
+        analyzer.addEpoch(_secrets[e], _guesses[e]);
+
+    sec::LeakageReport report = analyzer.report();
+    result.secEpochs = report.epochs;
+    result.secProbeAccuracy = report.probeAccuracy;
+    result.secChanceAccuracy = report.chanceAccuracy;
+    result.leakBitsPerEpoch = report.bitsPerEpoch;
+}
+
+PrimeProbeParams
+paramsFor(const MachineConfig &config, int epochs, int symbols)
+{
+    PrimeProbeParams params;
+    params.epochs = epochs;
+    params.symbols = symbols;
+    params.sccBytes = config.scc.sizeBytes;
+    params.lineBytes = config.scc.lineBytes;
+    params.assoc = config.scc.assoc;
+    return params;
+}
+
+} // namespace scmp::secwork

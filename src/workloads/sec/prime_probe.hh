@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The prime+probe spy/victim pair — the side-channel scenario.
+ *
+ * Two cluster-mates share one SCC and belong to different security
+ * domains (localCpu % domains): local processor 0 is the victim,
+ * local processor 1 the spy. Per epoch, barrier-phased so the runs
+ * are deterministic:
+ *
+ *  1. prime — the spy loads `assoc` lines into each of the K
+ *     contended sets, filling every way with its own tags;
+ *  2. access — the victim performs its secret-dependent lookup:
+ *     `assoc` distinct table lines that (under --isolation=none)
+ *     index into set secret[epoch], evicting every spy line there;
+ *  3. probe — the spy re-loads its primed lines per set, timing
+ *     each set with ThreadCtx::now(); the set with the largest
+ *     latency is its guess for the epoch's secret symbol.
+ *
+ * Under `none` the recovered stream matches the secret almost
+ * perfectly; way partitioning confines the victim's evictions to
+ * its own ways, coloring to its own sets, and randomized indexing
+ * decorrelates the two address maps — each collapses the spy's
+ * accuracy to the 1/K chance floor. verify() only checks the
+ * protocol ran to shape; the leakage numbers land in RunResult via
+ * annotate() (sec::LeakageAnalyzer), so sweeps and fig_sec can
+ * plot bits/epoch against each mitigation's slowdown.
+ */
+
+#ifndef SCMP_WORKLOADS_SEC_PRIME_PROBE_HH
+#define SCMP_WORKLOADS_SEC_PRIME_PROBE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace scmp
+{
+struct MachineConfig;
+}
+
+namespace scmp::secwork
+{
+
+/** Prime+probe knobs. */
+struct PrimeProbeParams
+{
+    /** Transmission epochs (one secret symbol each). */
+    int epochs = 96;
+
+    /** Secret alphabet size = contended sets (≤ the SCC's sets). */
+    int symbols = 8;
+
+    /** Secret-stream seed (deterministic per run). */
+    std::uint64_t seed = 0x5ec7e75ull;
+
+    /**
+     * Geometry of the SCC under attack. The spy crafts addresses
+     * from it exactly as a real attacker calibrates eviction sets
+     * against the target's cache; must match the machine's
+     * MachineConfig::scc (see paramsFor()).
+     */
+    std::uint64_t sccBytes = 64 * 1024;
+    std::uint32_t lineBytes = 16;
+    std::uint32_t assoc = 1;
+};
+
+/** The spy/victim pair as one ParallelWorkload. */
+class PrimeProbeWorkload : public ParallelWorkload
+{
+  public:
+    explicit PrimeProbeWorkload(PrimeProbeParams params = {});
+
+    std::string name() const override;
+    void reseed(std::uint64_t pointSeed) override;
+    void setup(Arena &arena, const Topology &topo) override;
+    void threadMain(ThreadCtx &ctx, int tid,
+                    const Topology &topo) override;
+    bool verify() override;
+    void annotate(RunResult &result) const override;
+
+    /** The per-epoch secrets/guesses (tests, offline scoring). */
+    const std::vector<int> &secrets() const { return _secrets; }
+    const std::vector<int> &guesses() const { return _guesses; }
+
+    /** Spy accuracy over the run (verify()/annotate() shortcut). */
+    double probeAccuracy() const;
+
+  private:
+    Addr primeAddr(int symbol, std::uint32_t way) const;
+    Addr victimAddr(int symbol, std::uint32_t way) const;
+
+    PrimeProbeParams _params;
+    std::uint64_t _numSets = 0;
+    int _lineShift = 0;
+
+    std::vector<int> _secrets;  //!< per-epoch truth (victim side)
+    std::vector<int> _guesses;  //!< per-epoch guess (spy side)
+
+    std::optional<SimBarrier> _barrier;
+};
+
+/** Derive matching workload params from a machine config. */
+PrimeProbeParams paramsFor(const MachineConfig &config, int epochs,
+                           int symbols);
+
+} // namespace scmp::secwork
+
+#endif // SCMP_WORKLOADS_SEC_PRIME_PROBE_HH

@@ -32,6 +32,13 @@
  * atomicity/isolation mirror must validate every commit's read
  * set and publication while verifying aborted speculation never
  * reached golden memory.
+ *
+ * A fifth pass reruns every topology x protocol with each cache-
+ * isolation mitigation (--isolation={waypart,color,rand}) armed:
+ * random traffic from processors in different security domains
+ * fills a partitioned SCC (rand with a rekey interval small enough
+ * that full rekey flushes fire mid-run), and the checker's
+ * partition invariant must have walked every placement.
  */
 
 #include <cstdio>
@@ -329,6 +336,72 @@ main()
             }
         }
         std::printf("fuzz smoke [%s tm]: %d runs clean\n",
+                    netTopologyName(topology), topologyRuns);
+    }
+
+    // Isolation pass: every mitigation over every fabric and
+    // protocol. The SCC gets 4 ways so way partitioning divides,
+    // and rand's rekey interval sits far below the fill count so
+    // rekey flushes (full writeback + re-hash) happen repeatedly
+    // under the oracle. The checker must have walked the partition
+    // invariant — an isolated run with no placement checks proves
+    // nothing.
+    const IsolationMode secModes[] = {
+        IsolationMode::WayPart,
+        IsolationMode::Color,
+        IsolationMode::Rand,
+    };
+    for (NetTopology topology : topologies) {
+        int topologyRuns = 0;
+        for (std::uint64_t seed : seeds) {
+            for (int p : procs) {
+                for (CoherenceProtocol protocol : protocols) {
+                    for (IsolationMode mode : secModes) {
+                        MachineConfig config;
+                        config.numClusters =
+                            topology == NetTopology::Tree ? 4 : 2;
+                        config.cpusPerCluster = p;
+                        config.scc.sizeBytes = 16ull << 10;
+                        config.scc.assoc = 4;
+                        config.scc.protocol = protocol;
+                        config.net.topology = topology;
+                        config.net.segments = 2;
+                        config.scc.sec.mode = mode;
+                        config.scc.sec.domains = 2;
+                        if (mode == IsolationMode::Rand)
+                            config.scc.sec.rekeyFills = 256;
+                        config.checkCoherence = true;
+
+                        Machine machine(config);
+                        check::TrafficParams params;
+                        params.seed = seed;
+                        params.steps = 15000;
+                        params.totalCpus = config.totalCpus();
+                        params.lineBytes = config.scc.lineBytes;
+                        check::TrafficGen(params).run(machine);
+
+                        const check::CoherenceChecker &checker =
+                            *machine.checker();
+                        if (checker.checksPerformed() == 0 ||
+                            checker.partitionChecks.value() <= 0) {
+                            std::fprintf(
+                                stderr,
+                                "FAIL: isolated run walked no "
+                                "partition checks (%s net %s seed "
+                                "%llu procs %d)\n",
+                                isolationModeName(mode),
+                                netTopologyName(topology),
+                                (unsigned long long)seed, p);
+                            return 1;
+                        }
+                        totalChecks += checker.checksPerformed();
+                        ++runs;
+                        ++topologyRuns;
+                    }
+                }
+            }
+        }
+        std::printf("fuzz smoke [%s isolation]: %d runs clean\n",
                     netTopologyName(topology), topologyRuns);
     }
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Proof the partition invariant has teeth: a tag array that stops
+ * honouring the isolation policy must die under the checker, and —
+ * the scarier half — run to completion silently without it.
+ *
+ * This binary is compiled with SCMP_SEC_MUTATION, which gives it
+ * its own copy of tag_array.cc where victim() ignores the
+ * partition: fills land at the raw set index over the full way
+ * range, exactly the bug a mis-merged replacement policy would
+ * introduce. Cross-domain traffic then places domain-1 lines in
+ * domain-0 territory — an isolation break no coherence rule
+ * notices, because the lines are still coherent, just leaky. The
+ * checker's partition walk (placementValid, intact in the same
+ * translation unit) must kill the run. The link resolves TagArray
+ * from this object file, so the mutated array exists only here;
+ * the library everyone else links is untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/checker.hh"
+#include "core/machine.hh"
+
+namespace
+{
+
+using namespace scmp;
+
+/**
+ * Cross-domain fill pressure against a way-partitioned SCC: cpu 0
+ * (domain 0) and cpu 1 (domain 1) each stream distinct lines into
+ * the same sets. The mutated victim() spreads every domain's fills
+ * over all four ways, so domain-1 lines land in ways 0-1 — domain
+ * 0's slice — within a handful of fills.
+ */
+void
+runMutatedFills(bool check)
+{
+    MachineConfig config;
+    config.numClusters = 1;
+    config.cpusPerCluster = 2;
+    config.scc.sizeBytes = 4 << 10;
+    config.scc.assoc = 4;
+    config.scc.sec.mode = IsolationMode::WayPart;
+    config.scc.sec.domains = 2;
+    config.checkCoherence = check;
+    // Walk on every bus transaction so the first misplaced fill is
+    // caught at its own fill, not at teardown.
+    config.checkWalkInterval = 0;
+
+    Machine machine(config);
+    std::uint64_t setStride =
+        config.scc.sizeBytes / config.scc.assoc;
+    Cycle t0 = 0, t1 = 0;
+    for (int i = 0; i < 8; ++i) {
+        t0 = machine.access(0, RefType::Read,
+                            0x60000 + (Addr)i * setStride, t0, 1);
+        t1 = machine.access(1, RefType::Read,
+                            0x70000 + (Addr)i * setStride, t1, 1);
+    }
+}
+
+TEST(SecMutationDeath, CheckerCatchesPartitionViolation)
+{
+    unsetenv("SCMP_CHECK");
+    EXPECT_DEATH(runMutatedFills(/*check=*/true),
+                 "isolation partition is violated");
+}
+
+TEST(SecMutationDeath, MutationIsSilentWithoutChecker)
+{
+    // The same traffic, unchecked, runs clean: every line is still
+    // coherent and every statistic looks plausible while the
+    // partition quietly leaks. This is why the invariant walker
+    // exists.
+    unsetenv("SCMP_CHECK");
+    runMutatedFills(/*check=*/false);
+    SUCCEED();
+}
+
+} // namespace
